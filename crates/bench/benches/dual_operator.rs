@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the dual-operator phases (wall-clock of the real
+//! host computation, complementing the modelled per-subdomain times printed by the
+//! figure binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feti_bench::build_problem;
+use feti_core::{build_dual_operator, DualOperatorApproach};
+use feti_mesh::{Dim, ElementOrder, Physics};
+use std::hint::black_box;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let problem = build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 6);
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    for approach in [
+        DualOperatorApproach::ImplicitMkl,
+        DualOperatorApproach::ExplicitMkl,
+        DualOperatorApproach::ExplicitCholmod,
+        DualOperatorApproach::ExplicitGpuLegacy,
+    ] {
+        group.bench_function(approach.label(), |b| {
+            b.iter(|| {
+                let mut op = build_dual_operator(approach, &problem, None).unwrap();
+                black_box(op.preprocess().unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_application(c: &mut Criterion) {
+    let problem = build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 8);
+    let mut group = c.benchmark_group("application");
+    group.sample_size(20);
+    for approach in [
+        DualOperatorApproach::ImplicitMkl,
+        DualOperatorApproach::ExplicitMkl,
+        DualOperatorApproach::ExplicitGpuLegacy,
+    ] {
+        let mut op = build_dual_operator(approach, &problem, None).unwrap();
+        op.preprocess().unwrap();
+        let p: Vec<f64> = (0..problem.num_lambdas).map(|i| i as f64 * 0.01).collect();
+        let mut q = vec![0.0; problem.num_lambdas];
+        group.bench_function(approach.label(), |b| {
+            b.iter(|| {
+                black_box(op.apply(black_box(&p), &mut q));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pcpg_solve(c: &mut Criterion) {
+    use feti_core::{PcpgOptions, TotalFetiSolver};
+    let problem = build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 4);
+    let mut group = c.benchmark_group("pcpg");
+    group.sample_size(10);
+    group.bench_function("heat2d_explicit_gpu", |b| {
+        b.iter(|| {
+            let mut solver = TotalFetiSolver::new(
+                &problem,
+                DualOperatorApproach::ExplicitGpuLegacy,
+                None,
+                PcpgOptions::default(),
+            )
+            .unwrap();
+            black_box(solver.solve().unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing, bench_application, bench_pcpg_solve);
+criterion_main!(benches);

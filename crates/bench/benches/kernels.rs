@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the substrate kernels the dual operator is built
+//! from: sparse factorization (with different orderings — the ordering ablation),
+//! triangular solves, the Schur complement and the FEM assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feti_mesh::{assemble_subdomain, generate::generate, Dim, ElementOrder, Physics, SubdomainSpec};
+use feti_order::OrderingKind;
+use feti_solver::{CholeskyFactor, PardisoLike, SolverOptions};
+use std::hint::black_box;
+
+fn test_matrix() -> feti_sparse::CsrMatrix {
+    let mesh = generate(&SubdomainSpec {
+        dim: Dim::Two,
+        order: ElementOrder::Linear,
+        elements_per_side: 16,
+        origin_elements: [0, 0, 0],
+        cell_size: 1.0 / 16.0,
+    });
+    let mut k = assemble_subdomain(&mesh, Physics::HeatTransfer).stiffness;
+    k.shift_diagonal(1.0);
+    k
+}
+
+fn bench_factorization_orderings(c: &mut Criterion) {
+    let k = test_matrix();
+    let mut group = c.benchmark_group("factorization_ordering");
+    group.sample_size(10);
+    for ordering in [
+        OrderingKind::Natural,
+        OrderingKind::ReverseCuthillMcKee,
+        OrderingKind::MinimumDegree,
+        OrderingKind::NestedDissection,
+    ] {
+        group.bench_function(format!("{ordering:?}"), |b| {
+            let opts = SolverOptions { ordering, ..Default::default() };
+            b.iter(|| black_box(CholeskyFactor::new(&k, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangular_solves(c: &mut Criterion) {
+    let k = test_matrix();
+    let factor = CholeskyFactor::new(&k, &SolverOptions::default()).unwrap();
+    let b_vec: Vec<f64> = (0..k.nrows()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut group = c.benchmark_group("triangular_solve");
+    group.bench_function("solve_forward_backward", |b| {
+        b.iter(|| black_box(factor.solve(black_box(&b_vec))));
+    });
+    group.finish();
+}
+
+fn bench_schur_complement(c: &mut Criterion) {
+    let k = test_matrix();
+    let n = k.nrows();
+    // A gluing-like sparse matrix with ~2 entries per row.
+    let mut coo = feti_sparse::CooMatrix::new(40, n);
+    for r in 0..40 {
+        coo.push(r, (r * 7) % n, 1.0);
+        coo.push(r, (r * 7 + 13) % n, -1.0);
+    }
+    let bmat = coo.to_csr();
+    let solver = PardisoLike::analyze(&k, SolverOptions::default());
+    let factor = solver.factorize(&k).unwrap();
+    let mut group = c.benchmark_group("schur_complement");
+    group.sample_size(10);
+    group.bench_function("sparse_rhs_schur_40", |b| {
+        b.iter(|| black_box(factor.schur_complement(black_box(&bmat))));
+    });
+    group.finish();
+}
+
+fn bench_fem_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fem_assembly");
+    group.sample_size(10);
+    group.bench_function("heat_3d_quadratic", |b| {
+        let mesh = generate(&SubdomainSpec {
+            dim: Dim::Three,
+            order: ElementOrder::Quadratic,
+            elements_per_side: 3,
+            origin_elements: [0, 0, 0],
+            cell_size: 1.0 / 3.0,
+        });
+        b.iter(|| black_box(assemble_subdomain(&mesh, Physics::HeatTransfer)));
+    });
+    group.bench_function("elasticity_2d_linear", |b| {
+        let mesh = generate(&SubdomainSpec {
+            dim: Dim::Two,
+            order: ElementOrder::Linear,
+            elements_per_side: 12,
+            origin_elements: [0, 0, 0],
+            cell_size: 1.0 / 12.0,
+        });
+        b.iter(|| black_box(assemble_subdomain(&mesh, Physics::LinearElasticity)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_factorization_orderings,
+    bench_triangular_solves,
+    bench_schur_complement,
+    bench_fem_assembly
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 2 — speedup of the SYRK assembly path over the TRSM path for the explicit GPU
+//! assembly, across problems, subdomain sizes and both CUDA generations, sorted by
+//! speedup (the paper reports an average speedup of about 1.58).
+
+use feti_bench::{build_problem, measure_approach, print_header, BenchScale};
+use feti_core::{DualOperatorApproach, ExplicitAssemblyParams, Path};
+use feti_gpu::CudaGeneration;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Fig. 2 reproduction — SYRK vs TRSM path speedup in explicit GPU assembly (scale {scale:?})");
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    let cases: Vec<(Dim, Physics, ElementOrder, Vec<usize>)> = vec![
+        (Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, scale.sweep_2d()),
+        (Dim::Two, Physics::LinearElasticity, ElementOrder::Linear, scale.sweep_2d()),
+        (Dim::Three, Physics::HeatTransfer, ElementOrder::Quadratic, scale.sweep_3d()),
+        (Dim::Three, Physics::LinearElasticity, ElementOrder::Linear, scale.sweep_3d()),
+    ];
+
+    for (dim, physics, order, sweep) in cases {
+        for &nel in &sweep {
+            let problem = build_problem(dim, physics, order, nel);
+            for (generation, approach) in [
+                (CudaGeneration::Legacy, DualOperatorApproach::ExplicitGpuLegacy),
+                (CudaGeneration::Modern, DualOperatorApproach::ExplicitGpuModern),
+            ] {
+                let base =
+                    ExplicitAssemblyParams::auto_configure(generation, dim, problem.spec.dofs_per_subdomain());
+                let syrk = ExplicitAssemblyParams { path: Path::Syrk, ..base };
+                let trsm = ExplicitAssemblyParams { path: Path::Trsm, ..base };
+                let m_syrk = measure_approach(&problem, approach, Some(syrk));
+                let m_trsm = measure_approach(&problem, approach, Some(trsm));
+                let speedup = m_trsm.preprocessing.total_seconds / m_syrk.preprocessing.total_seconds;
+                speedups.push((
+                    format!(
+                        "{dim:?}/{physics:?}/{:?}/{} dofs/{generation:?}",
+                        order,
+                        problem.spec.dofs_per_subdomain()
+                    ),
+                    speedup,
+                ));
+            }
+        }
+    }
+
+    speedups.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    print_header("Fig. 2  SYRK-path speedup over TRSM path (sorted)", &["problem", "speedup"]);
+    for (name, s) in &speedups {
+        println!("{name}\t{s:.3}");
+    }
+    let avg: f64 = speedups.iter().map(|(_, s)| s).sum::<f64>() / speedups.len() as f64;
+    let better = speedups.iter().filter(|(_, s)| *s > 1.0).count();
+    println!(
+        "\naverage speedup = {avg:.2} (paper: 1.58); SYRK faster in {better}/{} configurations",
+        speedups.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 3 — comparison of sparse vs dense factor storage in the explicit GPU assembly
+//! for both CUDA generations (heat transfer 3D, quadratic tetrahedra, SYRK path).
+
+use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale};
+use feti_core::{DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path, ScatterGather};
+use feti_gpu::CudaGeneration;
+use feti_mesh::{Dim, ElementOrder, Physics};
+use feti_sparse::MemoryOrder;
+
+fn params(storage: FactorStorage) -> ExplicitAssemblyParams {
+    ExplicitAssemblyParams {
+        path: Path::Syrk,
+        forward_factor_storage: storage,
+        backward_factor_storage: storage,
+        forward_factor_order: match storage {
+            FactorStorage::Sparse => MemoryOrder::RowMajor,
+            FactorStorage::Dense => MemoryOrder::ColMajor,
+        },
+        backward_factor_order: MemoryOrder::ColMajor,
+        rhs_order: MemoryOrder::RowMajor,
+        scatter_gather: ScatterGather::Gpu,
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!(
+        "Fig. 3 reproduction — factor storage in explicit assembly (heat 3D, quadratic tets, SYRK path, scale {scale:?})"
+    );
+    print_header(
+        "Fig. 3  assembly time per subdomain [ms]",
+        &["dofs/subdomain", "sparse modern", "dense modern", "sparse legacy", "dense legacy"],
+    );
+    for &nel in &scale.sweep_3d() {
+        let problem =
+            build_problem(Dim::Three, Physics::HeatTransfer, ElementOrder::Quadratic, nel);
+        let mut cells = vec![problem.spec.dofs_per_subdomain().to_string()];
+        for (generation, approach) in [
+            (CudaGeneration::Modern, DualOperatorApproach::ExplicitGpuModern),
+            (CudaGeneration::Legacy, DualOperatorApproach::ExplicitGpuLegacy),
+        ] {
+            for storage in [FactorStorage::Sparse, FactorStorage::Dense] {
+                let m = measure_approach(&problem, approach, Some(params(storage)));
+                cells.push(fmt_ms(m.preprocessing_ms_per_subdomain()));
+                let _ = generation;
+            }
+        }
+        // Re-order cells: computed as (modern sparse, modern dense, legacy sparse, legacy dense)
+        println!("{}", cells.join("\t"));
+    }
+    println!(
+        "\nExpected shape (paper): the modern sparse TRSM underperforms, so dense storage wins \
+         everywhere with modern CUDA; with legacy CUDA sparse storage becomes competitive as the \
+         subdomain grows (crossover near 12k DOFs)."
+    );
+}

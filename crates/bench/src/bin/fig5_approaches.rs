@@ -1,0 +1,79 @@
+//! Fig. 5 — preprocessing and application time of every dual-operator approach
+//! (Table III) for heat transfer in 2D and 3D, as a function of subdomain size.
+//!
+//! Prints four blocks matching Fig. 5a-5d: (2D, preprocessing), (2D, application),
+//! (3D, preprocessing), (3D, application), one row per subdomain size and one column
+//! per approach.
+
+use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale, Measurement};
+use feti_core::DualOperatorApproach;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+fn run_dim(dim: Dim, scale: BenchScale) -> Vec<Vec<Measurement>> {
+    let sweep = match dim {
+        Dim::Two => scale.sweep_2d(),
+        Dim::Three => scale.sweep_3d(),
+    };
+    let order = match dim {
+        Dim::Two => ElementOrder::Linear,
+        Dim::Three => ElementOrder::Quadratic,
+    };
+    sweep
+        .iter()
+        .map(|&nel| {
+            let problem = build_problem(dim, Physics::HeatTransfer, order, nel);
+            DualOperatorApproach::all()
+                .iter()
+                .map(|&a| measure_approach(&problem, a, None))
+                .collect()
+        })
+        .collect()
+}
+
+fn print_block(title: &str, rows: &[Vec<Measurement>], preprocessing: bool) {
+    let mut columns = vec!["dofs/subdomain"];
+    let labels: Vec<&str> = DualOperatorApproach::all().iter().map(|a| a.label()).collect();
+    columns.extend(labels.iter().copied());
+    print_header(title, &columns);
+    for row in rows {
+        let dofs = row[0].dofs_per_subdomain;
+        let cells: Vec<String> = row
+            .iter()
+            .map(|m| {
+                fmt_ms(if preprocessing {
+                    m.preprocessing_ms_per_subdomain()
+                } else {
+                    m.apply_ms_per_subdomain()
+                })
+            })
+            .collect();
+        println!("{dofs}\t{}", cells.join("\t"));
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Fig. 5 reproduction — heat transfer, times in ms per subdomain (scale {scale:?})");
+
+    let rows2d = run_dim(Dim::Two, scale);
+    print_block("Fig. 5a  Heat transfer 2D, preprocessing", &rows2d, true);
+    print_block("Fig. 5b  Heat transfer 2D, application", &rows2d, false);
+
+    let rows3d = run_dim(Dim::Three, scale);
+    print_block("Fig. 5c  Heat transfer 3D, preprocessing", &rows3d, true);
+    print_block("Fig. 5d  Heat transfer 3D, application", &rows3d, false);
+
+    // Headline numbers: explicit GPU vs explicit CPU (MKL-like) on the largest 3D size.
+    if let Some(last) = rows3d.last() {
+        let get = |a: DualOperatorApproach| last.iter().find(|m| m.approach == a).unwrap();
+        let expl_gpu = get(DualOperatorApproach::ExplicitGpuLegacy);
+        let expl_mkl = get(DualOperatorApproach::ExplicitMkl);
+        println!(
+            "\nHeadline (3D, {} DOFs/subdomain): explicit GPU assembly is {:.1}x faster than the \
+             CPU explicit approach; application is {:.1}x faster",
+            expl_gpu.dofs_per_subdomain,
+            expl_mkl.preprocessing_ms_per_subdomain() / expl_gpu.preprocessing_ms_per_subdomain(),
+            expl_mkl.apply_ms_per_subdomain() / expl_gpu.apply_ms_per_subdomain(),
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 6 — total dual-operator time (preprocessing + iterations × application) as a
+//! function of the PCPG iteration count, reporting the best approach for every
+//! subdomain size and iteration count.
+
+use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale, Measurement};
+use feti_core::DualOperatorApproach;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+const ITERATION_COUNTS: [usize; 5] = [1, 10, 100, 1000, 10000];
+
+fn best(measurements: &[Measurement], iterations: usize) -> (&Measurement, f64) {
+    measurements
+        .iter()
+        .map(|m| (m, m.total_ms_per_subdomain(iterations)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+}
+
+fn run_dim(dim: Dim, scale: BenchScale) {
+    let sweep = match dim {
+        Dim::Two => scale.sweep_2d(),
+        Dim::Three => scale.sweep_3d(),
+    };
+    let order = match dim {
+        Dim::Two => ElementOrder::Linear,
+        Dim::Three => ElementOrder::Quadratic,
+    };
+    let title = match dim {
+        Dim::Two => "Fig. 6a  Heat transfer 2D — best dual operator",
+        Dim::Three => "Fig. 6b  Heat transfer 3D — best dual operator",
+    };
+    print_header(title, &["dofs/subdomain", "iterations", "best approach", "total ms/subdomain"]);
+    for &nel in &sweep {
+        let problem = build_problem(dim, Physics::HeatTransfer, order, nel);
+        let measurements: Vec<Measurement> = DualOperatorApproach::all()
+            .iter()
+            .map(|&a| measure_approach(&problem, a, None))
+            .collect();
+        for &iters in &ITERATION_COUNTS {
+            let (m, total) = best(&measurements, iters);
+            println!(
+                "{}\t{}\t{}\t{}",
+                m.dofs_per_subdomain,
+                iters,
+                m.approach.label(),
+                fmt_ms(total)
+            );
+        }
+        // Amortization point: first iteration count where an explicit GPU approach beats
+        // the implicit CPU ones.
+        let explicit_gpu_total = |iters: usize| {
+            measurements
+                .iter()
+                .filter(|m| {
+                    matches!(
+                        m.approach,
+                        DualOperatorApproach::ExplicitGpuLegacy
+                            | DualOperatorApproach::ExplicitGpuModern
+                    )
+                })
+                .map(|m| m.total_ms_per_subdomain(iters))
+                .fold(f64::MAX, f64::min)
+        };
+        let implicit_cpu_total = |iters: usize| {
+            measurements
+                .iter()
+                .filter(|m| {
+                    matches!(
+                        m.approach,
+                        DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod
+                    )
+                })
+                .map(|m| m.total_ms_per_subdomain(iters))
+                .fold(f64::MAX, f64::min)
+        };
+        let amortization =
+            (1..=20_000).find(|&it| explicit_gpu_total(it) < implicit_cpu_total(it));
+        match amortization {
+            Some(it) => println!(
+                "# amortization point ({} DOFs/subdomain): explicit GPU wins after {it} iterations",
+                problem.spec.dofs_per_subdomain()
+            ),
+            None => println!(
+                "# amortization point ({} DOFs/subdomain): explicit GPU never wins within 20k iterations",
+                problem.spec.dofs_per_subdomain()
+            ),
+        }
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Fig. 6 reproduction — total dual-operator time vs iteration count (scale {scale:?})");
+    run_dim(Dim::Two, scale);
+    run_dim(Dim::Three, scale);
+}

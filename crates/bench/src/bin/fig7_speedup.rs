@@ -1,0 +1,56 @@
+//! Fig. 7 — speedup of the best dual-operator approach relative to the implicit CPU
+//! approach (`impl mkl`), as a function of the PCPG iteration count.
+
+use feti_bench::{build_problem, measure_approach, print_header, BenchScale, Measurement};
+use feti_core::DualOperatorApproach;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+const ITERATION_COUNTS: [usize; 6] = [1, 10, 30, 100, 300, 1000];
+
+fn run_dim(dim: Dim, scale: BenchScale) {
+    let sweep = match dim {
+        Dim::Two => scale.sweep_2d(),
+        Dim::Three => scale.sweep_3d(),
+    };
+    let order = match dim {
+        Dim::Two => ElementOrder::Linear,
+        Dim::Three => ElementOrder::Quadratic,
+    };
+    let title = match dim {
+        Dim::Two => "Fig. 7a  Heat transfer 2D — speedup of the best approach vs impl mkl",
+        Dim::Three => "Fig. 7b  Heat transfer 3D — speedup of the best approach vs impl mkl",
+    };
+    let mut columns: Vec<String> = vec!["dofs/subdomain".to_string()];
+    columns.extend(ITERATION_COUNTS.iter().map(|i| format!("{i} it")));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_header(title, &col_refs);
+
+    for &nel in &sweep {
+        let problem = build_problem(dim, Physics::HeatTransfer, order, nel);
+        let measurements: Vec<Measurement> = DualOperatorApproach::all()
+            .iter()
+            .map(|&a| measure_approach(&problem, a, None))
+            .collect();
+        let reference = measurements
+            .iter()
+            .find(|m| m.approach == DualOperatorApproach::ImplicitMkl)
+            .unwrap();
+        let mut row = vec![problem.spec.dofs_per_subdomain().to_string()];
+        for &iters in &ITERATION_COUNTS {
+            let best = measurements
+                .iter()
+                .map(|m| m.total_ms_per_subdomain(iters))
+                .fold(f64::MAX, f64::min);
+            let speedup = reference.total_ms_per_subdomain(iters) / best;
+            row.push(format!("{speedup:.2}"));
+        }
+        println!("{}", row.join("\t"));
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Fig. 7 reproduction — speedup relative to the implicit CPU approach (scale {scale:?})");
+    run_dim(Dim::Two, scale);
+    run_dim(Dim::Three, scale);
+}

@@ -1,0 +1,321 @@
+//! CPU-only dual operator approaches: `impl mkl`, `impl cholmod`, `expl mkl`,
+//! `expl cholmod`.
+
+use super::{DualOperator, DualOperatorStats, SubdomainBlock, NUM_STREAMS, NUM_THREADS};
+use crate::params::DualOperatorApproach;
+use crate::schedule::{PhaseScheduler, TimeBreakdown};
+use feti_solver::cholmod::{CholmodFactor, CholmodLike};
+use feti_solver::pardiso::{PardisoFactor, PardisoLike};
+use feti_solver::SolverOptions;
+use feti_sparse::{blas, ops, DenseMatrix, MemoryOrder, Transpose, Triangle};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Symbolic handle of either CPU solver facade.
+enum CpuSymbolic {
+    Mkl(PardisoLike),
+    Cholmod(CholmodLike),
+}
+
+/// Numeric factor of either CPU solver facade.
+enum CpuFactor {
+    Mkl(PardisoFactor),
+    Cholmod(CholmodFactor),
+}
+
+impl CpuFactor {
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            CpuFactor::Mkl(f) => f.solve(b),
+            CpuFactor::Cholmod(f) => f.solve(b),
+        }
+    }
+}
+
+fn make_symbolic(approach: DualOperatorApproach, block: &SubdomainBlock) -> CpuSymbolic {
+    let opts = SolverOptions::default();
+    match approach {
+        DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ExplicitMkl => {
+            CpuSymbolic::Mkl(PardisoLike::analyze(&block.k_reg, opts))
+        }
+        _ => CpuSymbolic::Cholmod(CholmodLike::analyze(&block.k_reg, opts)),
+    }
+}
+
+/// Implicit CPU application: SpMV, two triangular solves, SpMV, all on the host.
+pub struct ImplicitCpuOperator {
+    approach: DualOperatorApproach,
+    blocks: Vec<SubdomainBlock>,
+    num_lambdas: usize,
+    symbolic: Vec<CpuSymbolic>,
+    factors: Vec<Option<CpuFactor>>,
+    stats: DualOperatorStats,
+}
+
+impl ImplicitCpuOperator {
+    /// Preparation phase: symbolic analysis of every subdomain.
+    #[must_use]
+    pub fn new(
+        approach: DualOperatorApproach,
+        blocks: Vec<SubdomainBlock>,
+        num_lambdas: usize,
+    ) -> Self {
+        let symbolic: Vec<CpuSymbolic> =
+            blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
+        let factors = blocks.iter().map(|_| None).collect();
+        Self { approach, blocks, num_lambdas, symbolic, factors, stats: DualOperatorStats::default() }
+    }
+}
+
+impl DualOperator for ImplicitCpuOperator {
+    fn approach(&self) -> DualOperatorApproach {
+        self.approach
+    }
+
+    fn num_lambdas(&self) -> usize {
+        self.num_lambdas
+    }
+
+    fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let results: Vec<(CpuFactor, f64)> = self
+            .blocks
+            .par_iter()
+            .zip(self.symbolic.par_iter())
+            .map(|(block, symbolic)| {
+                let start = Instant::now();
+                let factor = match symbolic {
+                    CpuSymbolic::Mkl(s) => CpuFactor::Mkl(s.factorize(&block.k_reg)?),
+                    CpuSymbolic::Cholmod(s) => CpuFactor::Cholmod(s.factorize(&block.k_reg)?),
+                };
+                Ok((factor, start.elapsed().as_secs_f64()))
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        for (i, (factor, seconds)) in results.into_iter().enumerate() {
+            self.factors[i] = Some(factor);
+            scheduler.record_subdomain(i, seconds, &[]);
+        }
+        let breakdown = scheduler.finish();
+        self.stats.preprocessing = breakdown;
+        Ok(breakdown)
+    }
+
+    fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
+        assert_eq!(p.len(), self.num_lambdas);
+        assert_eq!(q.len(), self.num_lambdas);
+        q.iter_mut().for_each(|v| *v = 0.0);
+        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        for (i, block) in self.blocks.iter().enumerate() {
+            let factor = self.factors[i].as_ref().expect("preprocess must be called before apply");
+            let start = Instant::now();
+            let p_local = block.scatter(p);
+            let mut t = vec![0.0; block.num_dofs()];
+            ops::spmv_csr(1.0, &block.b, Transpose::Yes, &p_local, 0.0, &mut t);
+            let x = factor.solve(&t);
+            let mut q_local = vec![0.0; block.num_local_lambdas()];
+            ops::spmv_csr(1.0, &block.b, Transpose::No, &x, 0.0, &mut q_local);
+            let seconds = start.elapsed().as_secs_f64();
+            block.gather(&q_local, q);
+            scheduler.record_subdomain(i, seconds, &[]);
+        }
+        let breakdown = scheduler.finish();
+        self.stats.total_apply = self.stats.total_apply.then(breakdown);
+        self.stats.apply_count += 1;
+        breakdown
+    }
+
+    fn stats(&self) -> DualOperatorStats {
+        self.stats
+    }
+}
+
+/// Explicit CPU assembly and application: `expl mkl` (sparsity-exploiting Schur
+/// complement) and `expl cholmod` (dense triangular solves on the extracted factor).
+pub struct ExplicitCpuOperator {
+    approach: DualOperatorApproach,
+    blocks: Vec<SubdomainBlock>,
+    num_lambdas: usize,
+    symbolic: Vec<CpuSymbolic>,
+    f_local: Vec<Option<DenseMatrix>>,
+    stats: DualOperatorStats,
+}
+
+impl ExplicitCpuOperator {
+    /// Preparation phase: symbolic analysis of every subdomain.
+    #[must_use]
+    pub fn new(
+        approach: DualOperatorApproach,
+        blocks: Vec<SubdomainBlock>,
+        num_lambdas: usize,
+    ) -> Self {
+        let symbolic: Vec<CpuSymbolic> =
+            blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
+        let f_local = blocks.iter().map(|_| None).collect();
+        Self { approach, blocks, num_lambdas, symbolic, f_local, stats: DualOperatorStats::default() }
+    }
+
+    /// Assembles `F̃ᵢ` for one subdomain on the CPU (used also by the hybrid approach).
+    fn assemble_local(
+        approach: DualOperatorApproach,
+        symbolic: &CpuSymbolic,
+        block: &SubdomainBlock,
+    ) -> crate::Result<DenseMatrix> {
+        match symbolic {
+            CpuSymbolic::Mkl(s) => {
+                // Augmented-factorization-style Schur complement exploiting B sparsity.
+                let factor = s.factorize(&block.k_reg)?;
+                Ok(factor.schur_complement(&block.b))
+            }
+            CpuSymbolic::Cholmod(s) => {
+                debug_assert!(matches!(
+                    approach,
+                    DualOperatorApproach::ExplicitCholmod | DualOperatorApproach::ExplicitHybrid
+                ));
+                // Dense path: convert B̃ᵀ to dense, solve K X = B̃ᵀ, then F̃ = B̃ X.
+                let factor = s.factorize(&block.k_reg)?;
+                let bt_dense = block.b.transposed().to_dense(MemoryOrder::ColMajor);
+                let x = factor.solve_matrix(&bt_dense);
+                let nl = block.num_local_lambdas();
+                let mut f = DenseMatrix::zeros(nl, nl, MemoryOrder::RowMajor);
+                ops::spmm_csr_dense(1.0, &block.b, Transpose::No, &x, 0.0, &mut f);
+                Ok(f)
+            }
+        }
+    }
+}
+
+/// Explicit helper used by all explicit approaches: `q̃ᵢ = F̃ᵢ p̃ᵢ` through SYMV.
+fn apply_local_explicit(f: &DenseMatrix, p_local: &[f64], q_local: &mut [f64]) {
+    blas::symv(Triangle::Upper, 1.0, f, p_local, 0.0, q_local);
+}
+
+impl DualOperator for ExplicitCpuOperator {
+    fn approach(&self) -> DualOperatorApproach {
+        self.approach
+    }
+
+    fn num_lambdas(&self) -> usize {
+        self.num_lambdas
+    }
+
+    fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let approach = self.approach;
+        let results: Vec<(DenseMatrix, f64)> = self
+            .blocks
+            .par_iter()
+            .zip(self.symbolic.par_iter())
+            .map(|(block, symbolic)| {
+                let start = Instant::now();
+                let f = Self::assemble_local(approach, symbolic, block)?;
+                Ok((f, start.elapsed().as_secs_f64()))
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        for (i, (f, seconds)) in results.into_iter().enumerate() {
+            self.f_local[i] = Some(f);
+            scheduler.record_subdomain(i, seconds, &[]);
+        }
+        let breakdown = scheduler.finish();
+        self.stats.preprocessing = breakdown;
+        Ok(breakdown)
+    }
+
+    fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
+        assert_eq!(p.len(), self.num_lambdas);
+        assert_eq!(q.len(), self.num_lambdas);
+        q.iter_mut().for_each(|v| *v = 0.0);
+        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        for (i, block) in self.blocks.iter().enumerate() {
+            let f = self.f_local[i].as_ref().expect("preprocess must be called before apply");
+            let start = Instant::now();
+            let p_local = block.scatter(p);
+            let mut q_local = vec![0.0; block.num_local_lambdas()];
+            apply_local_explicit(f, &p_local, &mut q_local);
+            let seconds = start.elapsed().as_secs_f64();
+            block.gather(&q_local, q);
+            scheduler.record_subdomain(i, seconds, &[]);
+        }
+        let breakdown = scheduler.finish();
+        self.stats.total_apply = self.stats.total_apply.then(breakdown);
+        self.stats.apply_count += 1;
+        breakdown
+    }
+
+    fn stats(&self) -> DualOperatorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualop::SubdomainBlock;
+    use feti_decompose::{DecomposedProblem, DecompositionSpec};
+
+    fn blocks() -> (Vec<SubdomainBlock>, usize) {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        (SubdomainBlock::from_problem(&problem), problem.num_lambdas)
+    }
+
+    fn reference_apply(blocks: &[SubdomainBlock], p: &[f64]) -> Vec<f64> {
+        // Straightforward dense reference: q = sum_i B_i Kreg_i^{-1} B_i^T p_i.
+        let mut q = vec![0.0; p.len()];
+        for block in blocks {
+            let factor =
+                feti_solver::CholeskyFactor::new(&block.k_reg, &SolverOptions::default()).unwrap();
+            let p_local = block.scatter(p);
+            let mut t = vec![0.0; block.num_dofs()];
+            ops::spmv_csr(1.0, &block.b, Transpose::Yes, &p_local, 0.0, &mut t);
+            let x = factor.solve(&t);
+            let mut q_local = vec![0.0; block.num_local_lambdas()];
+            ops::spmv_csr(1.0, &block.b, Transpose::No, &x, 0.0, &mut q_local);
+            block.gather(&q_local, &mut q);
+        }
+        q
+    }
+
+    #[test]
+    fn implicit_cpu_matches_reference() {
+        let (blocks, nl) = blocks();
+        let p: Vec<f64> = (0..nl).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let reference = reference_apply(&blocks, &p);
+        for approach in [DualOperatorApproach::ImplicitMkl, DualOperatorApproach::ImplicitCholmod] {
+            let mut op = ImplicitCpuOperator::new(approach, blocks.clone(), nl);
+            let t = op.preprocess().unwrap();
+            assert!(t.total_seconds > 0.0);
+            let mut q = vec![0.0; nl];
+            let ta = op.apply(&p, &mut q);
+            assert!(ta.total_seconds > 0.0);
+            for (a, b) in q.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-8, "{approach:?}: {a} vs {b}");
+            }
+            assert_eq!(op.stats().apply_count, 1);
+        }
+    }
+
+    #[test]
+    fn explicit_cpu_matches_reference() {
+        let (blocks, nl) = blocks();
+        let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.31).sin()).collect();
+        let reference = reference_apply(&blocks, &p);
+        for approach in [DualOperatorApproach::ExplicitMkl, DualOperatorApproach::ExplicitCholmod] {
+            let mut op = ExplicitCpuOperator::new(approach, blocks.clone(), nl);
+            op.preprocess().unwrap();
+            let mut q = vec![0.0; nl];
+            op.apply(&p, &mut q);
+            for (a, b) in q.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-8, "{approach:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "preprocess must be called")]
+    fn apply_before_preprocess_panics() {
+        let (blocks, nl) = blocks();
+        let mut op = ImplicitCpuOperator::new(DualOperatorApproach::ImplicitMkl, blocks, nl);
+        let p = vec![0.0; nl];
+        let mut q = vec![0.0; nl];
+        let _ = op.apply(&p, &mut q);
+    }
+}

@@ -1,0 +1,205 @@
+//! The dual operator `F = B K⁺ Bᵀ` and its nine implementations (Table III).
+//!
+//! All implementations expose the same [`DualOperator`] trait: a `preprocess` step
+//! (numeric factorization and, for explicit approaches, assembly of the dense local
+//! operators `F̃ᵢ`) and an `apply` step (`q = F p` on the global dual vector).  Both
+//! report a [`TimeBreakdown`] combining measured CPU time and modelled GPU time under
+//! the paper's overlapped execution schedule.
+
+pub mod cpu;
+pub mod gpu;
+
+use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
+use crate::schedule::TimeBreakdown;
+use feti_decompose::DecomposedProblem;
+use feti_sparse::CsrMatrix;
+
+/// Host threads (OpenMP threads in the paper) assumed by the phase scheduler.
+pub const NUM_THREADS: usize = 16;
+/// CUDA streams per cluster assumed by the phase scheduler.
+pub const NUM_STREAMS: usize = 16;
+
+/// Accumulated statistics of a dual operator over a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualOperatorStats {
+    /// Time spent in the last `preprocess` call.
+    pub preprocessing: TimeBreakdown,
+    /// Sum of all `apply` calls since construction.
+    pub total_apply: TimeBreakdown,
+    /// Number of `apply` calls.
+    pub apply_count: usize,
+}
+
+/// The dual operator interface shared by all approaches of Table III.
+pub trait DualOperator: Send {
+    /// Which approach this operator implements.
+    fn approach(&self) -> DualOperatorApproach;
+
+    /// Dimension of the (global) dual space.
+    fn num_lambdas(&self) -> usize;
+
+    /// FETI preprocessing: numeric factorization of every `Kᵢ,reg` and, for explicit
+    /// approaches, assembly of the local dual operators `F̃ᵢ`.
+    ///
+    /// # Errors
+    /// Returns an error if a factorization fails or the device runs out of memory.
+    fn preprocess(&mut self) -> crate::Result<TimeBreakdown>;
+
+    /// Applies the dual operator: `q = F p` (both are global dual vectors).
+    ///
+    /// # Panics
+    /// Panics if `preprocess` has not been called or vector lengths do not match.
+    fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> DualOperatorStats;
+}
+
+/// Per-subdomain data shared by every implementation: the regularized stiffness
+/// matrix, the local gluing block and the local-to-global multiplier map.
+#[derive(Debug, Clone)]
+pub struct SubdomainBlock {
+    /// Regularized (SPD) subdomain stiffness matrix.
+    pub k_reg: CsrMatrix,
+    /// Local gluing matrix `B̃ᵢ` (`local_lambdas x ndofs`).
+    pub b: CsrMatrix,
+    /// Local-to-global multiplier map.
+    pub lambda_map: Vec<usize>,
+}
+
+impl SubdomainBlock {
+    /// Extracts the blocks needed by the dual operators from a decomposed problem.
+    #[must_use]
+    pub fn from_problem(problem: &DecomposedProblem) -> Vec<SubdomainBlock> {
+        problem
+            .subdomains
+            .iter()
+            .map(|sd| SubdomainBlock {
+                k_reg: sd.k_reg.clone(),
+                b: sd.gluing.clone(),
+                lambda_map: sd.lambda_map.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of DOFs of this subdomain.
+    #[must_use]
+    pub fn num_dofs(&self) -> usize {
+        self.k_reg.nrows()
+    }
+
+    /// Number of Lagrange multipliers connected to this subdomain.
+    #[must_use]
+    pub fn num_local_lambdas(&self) -> usize {
+        self.lambda_map.len()
+    }
+
+    /// Scatters the global dual vector into this subdomain's local dual vector.
+    #[must_use]
+    pub fn scatter(&self, global: &[f64]) -> Vec<f64> {
+        self.lambda_map.iter().map(|&g| global[g]).collect()
+    }
+
+    /// Gathers (adds) this subdomain's local dual vector into the global dual vector.
+    pub fn gather(&self, local: &[f64], global: &mut [f64]) {
+        for (l, &g) in self.lambda_map.iter().enumerate() {
+            global[g] += local[l];
+        }
+    }
+}
+
+/// Builds the dual operator implementing `approach` for a decomposed problem.
+///
+/// `params` configures the explicit GPU assembly; when `None`, the Table-II
+/// auto-configuration for the problem's dimensionality and subdomain size is used.
+/// CPU-only approaches ignore `params`.
+///
+/// # Errors
+/// Returns an error if the simulated device cannot hold the persistent structures.
+pub fn build_dual_operator(
+    approach: DualOperatorApproach,
+    problem: &DecomposedProblem,
+    params: Option<ExplicitAssemblyParams>,
+) -> crate::Result<Box<dyn DualOperator>> {
+    let blocks = SubdomainBlock::from_problem(problem);
+    let num_lambdas = problem.num_lambdas;
+    let resolved_params = params.unwrap_or_else(|| {
+        let generation = approach.generation().unwrap_or(feti_gpu::CudaGeneration::Legacy);
+        ExplicitAssemblyParams::auto_configure(
+            generation,
+            problem.spec.dim,
+            problem.spec.dofs_per_subdomain(),
+        )
+    });
+    match approach {
+        DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => Ok(Box::new(
+            cpu::ImplicitCpuOperator::new(approach, blocks, num_lambdas),
+        )),
+        DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => Ok(Box::new(
+            cpu::ExplicitCpuOperator::new(approach, blocks, num_lambdas),
+        )),
+        DualOperatorApproach::ImplicitGpuLegacy | DualOperatorApproach::ImplicitGpuModern => {
+            Ok(Box::new(gpu::ImplicitGpuOperator::new(approach, blocks, num_lambdas)?))
+        }
+        DualOperatorApproach::ExplicitGpuLegacy | DualOperatorApproach::ExplicitGpuModern => {
+            Ok(Box::new(gpu::ExplicitGpuOperator::new(
+                approach,
+                blocks,
+                num_lambdas,
+                resolved_params,
+            )?))
+        }
+        DualOperatorApproach::ExplicitHybrid => Ok(Box::new(gpu::HybridOperator::new(
+            blocks,
+            num_lambdas,
+            resolved_params,
+        )?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_decompose::DecompositionSpec;
+
+    #[test]
+    fn blocks_extracted_from_problem() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let blocks = SubdomainBlock::from_problem(&problem);
+        assert_eq!(blocks.len(), 4);
+        for b in &blocks {
+            assert_eq!(b.b.ncols(), b.num_dofs());
+            assert_eq!(b.b.nrows(), b.num_local_lambdas());
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let blocks = SubdomainBlock::from_problem(&problem);
+        let global: Vec<f64> = (0..problem.num_lambdas).map(|i| i as f64).collect();
+        let mut accumulated = vec![0.0; problem.num_lambdas];
+        let mut counts = vec![0.0; problem.num_lambdas];
+        for b in &blocks {
+            let local = b.scatter(&global);
+            assert_eq!(local.len(), b.num_local_lambdas());
+            b.gather(&local, &mut accumulated);
+            for &g in &b.lambda_map {
+                counts[g] += 1.0;
+            }
+        }
+        for i in 0..problem.num_lambdas {
+            assert!((accumulated[i] - global[i] * counts[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_approach() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        for approach in DualOperatorApproach::all() {
+            let op = build_dual_operator(approach, &problem, None).unwrap();
+            assert_eq!(op.approach(), approach);
+            assert_eq!(op.num_lambdas(), problem.num_lambdas);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The Total FETI solver: coarse problem, projector, lumped preconditioner and the
+//! preconditioned conjugate projected gradient method (Algorithm 1 of the paper),
+//! plus solution recovery.
+
+use crate::dualop::DualOperator;
+use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
+use crate::schedule::TimeBreakdown;
+use crate::{FetiError, Result};
+use feti_decompose::DecomposedProblem;
+use feti_solver::{CholeskyFactor, SolverOptions};
+use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, Transpose};
+
+/// Options of the PCPG iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PcpgOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Relative tolerance on the projected residual.
+    pub tolerance: f64,
+    /// Whether to use the lumped preconditioner `M = B K Bᵀ`.
+    pub use_preconditioner: bool,
+}
+
+impl Default for PcpgOptions {
+    fn default() -> Self {
+        Self { max_iterations: 500, tolerance: 1e-9, use_preconditioner: true }
+    }
+}
+
+/// The result of one FETI solve.
+#[derive(Debug, Clone)]
+pub struct FetiSolution {
+    /// Converged Lagrange multipliers.
+    pub lambda: Vec<f64>,
+    /// Kernel amplitudes (stacked per subdomain).
+    pub alpha: Vec<f64>,
+    /// Per-subdomain primal solutions.
+    pub subdomain_solutions: Vec<Vec<f64>>,
+    /// Global primal solution (interface values averaged).
+    pub global_solution: Vec<f64>,
+    /// Number of PCPG iterations performed.
+    pub iterations: usize,
+    /// Final relative projected residual.
+    pub final_residual: f64,
+    /// Time spent in FETI preprocessing (dual-operator factorization / assembly).
+    pub preprocessing_time: TimeBreakdown,
+    /// Accumulated time of all dual-operator applications during PCPG.
+    pub dual_apply_time: TimeBreakdown,
+}
+
+/// The Total FETI solver driving a pluggable dual operator.
+pub struct TotalFetiSolver<'a> {
+    problem: &'a DecomposedProblem,
+    dual_op: Box<dyn DualOperator>,
+    /// Factors of the regularized subdomain matrices used for `d` and solution
+    /// recovery (independent of the dual operator's own internal factorizations).
+    recovery_factors: Vec<CholeskyFactor>,
+    g: CsrMatrix,
+    gtg_factor: CholeskyFactor,
+    e: Vec<f64>,
+    kernel_dim: usize,
+    options: PcpgOptions,
+}
+
+impl<'a> TotalFetiSolver<'a> {
+    /// Creates a solver for `problem` using the given dual-operator approach.
+    ///
+    /// # Errors
+    /// Returns an error if a subdomain factorization fails or the coarse problem is
+    /// singular.
+    pub fn new(
+        problem: &'a DecomposedProblem,
+        approach: DualOperatorApproach,
+        params: Option<ExplicitAssemblyParams>,
+        options: PcpgOptions,
+    ) -> Result<Self> {
+        let dual_op = crate::dualop::build_dual_operator(approach, problem, params)?;
+        let solver_opts = SolverOptions::default();
+        let recovery_factors: Vec<CholeskyFactor> = problem
+            .subdomains
+            .iter()
+            .map(|sd| CholeskyFactor::new(&sd.k_reg, &solver_opts).map_err(FetiError::from))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Coarse space: G = B R (per subdomain columns), e = Rᵀ f.
+        let kernel_dim = problem.spec.physics.kernel_dim(problem.spec.dim);
+        let num_lambdas = problem.num_lambdas;
+        let ncols = kernel_dim * problem.subdomains.len();
+        let mut g_coo = CooMatrix::new(num_lambdas, ncols);
+        let mut e = vec![0.0f64; ncols];
+        for (s, sd) in problem.subdomains.iter().enumerate() {
+            for c in 0..kernel_dim {
+                let r_col = sd.kernel.col(c);
+                // column of B R
+                let mut br = vec![0.0; sd.gluing.nrows()];
+                ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &r_col, 0.0, &mut br);
+                for (local, &v) in br.iter().enumerate() {
+                    if v != 0.0 {
+                        g_coo.push(sd.lambda_map[local], s * kernel_dim + c, v);
+                    }
+                }
+                e[s * kernel_dim + c] = blas::dot(&r_col, &sd.assembled.load);
+            }
+        }
+        let g = g_coo.to_csr();
+        let gtg = ops::spgemm_csr(&g.transposed(), &g);
+        let gtg_factor = CholeskyFactor::new(&gtg, &solver_opts)
+            .map_err(|e| FetiError::Factorization(format!("coarse problem GᵀG: {e}")))?;
+
+        Ok(Self { problem, dual_op, recovery_factors, g, gtg_factor, e, kernel_dim, options })
+    }
+
+    /// The dual-space dimension.
+    #[must_use]
+    pub fn num_lambdas(&self) -> usize {
+        self.problem.num_lambdas
+    }
+
+    /// Access to the underlying dual operator (e.g. for statistics).
+    #[must_use]
+    pub fn dual_operator(&self) -> &dyn DualOperator {
+        self.dual_op.as_ref()
+    }
+
+    /// Applies the projector `P x = x - G (GᵀG)⁻¹ Gᵀ x`.
+    #[must_use]
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        let mut gtx = vec![0.0; self.g.ncols()];
+        ops::spmv_csr(1.0, &self.g, Transpose::Yes, x, 0.0, &mut gtx);
+        let y = self.gtg_factor.solve(&gtx);
+        let mut out = x.to_vec();
+        ops::spmv_csr(-1.0, &self.g, Transpose::No, &y, 1.0, &mut out);
+        out
+    }
+
+    /// Applies the lumped preconditioner `M w = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ w̃ᵢ`.
+    #[must_use]
+    pub fn precondition(&self, w: &[f64]) -> Vec<f64> {
+        if !self.options.use_preconditioner {
+            return w.to_vec();
+        }
+        let mut out = vec![0.0; w.len()];
+        for sd in &self.problem.subdomains {
+            let w_local: Vec<f64> = sd.lambda_map.iter().map(|&g| w[g]).collect();
+            let mut t = vec![0.0; sd.num_dofs()];
+            ops::spmv_csr(1.0, &sd.gluing, Transpose::Yes, &w_local, 0.0, &mut t);
+            let mut kt = vec![0.0; sd.num_dofs()];
+            ops::spmv_csr(1.0, &sd.assembled.stiffness, Transpose::No, &t, 0.0, &mut kt);
+            let mut q_local = vec![0.0; sd.gluing.nrows()];
+            ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &kt, 0.0, &mut q_local);
+            for (local, &g) in sd.lambda_map.iter().enumerate() {
+                out[g] += q_local[local];
+            }
+        }
+        out
+    }
+
+    /// Computes the dual right-hand side `d = B K⁺ f - c`.
+    #[must_use]
+    fn dual_rhs(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.problem.num_lambdas];
+        for (sd, factor) in self.problem.subdomains.iter().zip(&self.recovery_factors) {
+            let x = factor.solve(&sd.assembled.load);
+            let mut q_local = vec![0.0; sd.gluing.nrows()];
+            ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &x, 0.0, &mut q_local);
+            for (local, &g) in sd.lambda_map.iter().enumerate() {
+                d[g] += q_local[local];
+            }
+        }
+        for (di, ci) in d.iter_mut().zip(&self.problem.constraint_rhs) {
+            *di -= ci;
+        }
+        d
+    }
+
+    /// Runs FETI preprocessing and the PCPG iteration (Algorithm 1), then recovers the
+    /// primal solution.
+    ///
+    /// # Errors
+    /// Returns [`FetiError::NoConvergence`] if PCPG does not reach the tolerance.
+    pub fn solve(&mut self) -> Result<FetiSolution> {
+        let preprocessing_time = self.dual_op.preprocess()?;
+        let nl = self.problem.num_lambdas;
+        let mut apply_time = TimeBreakdown::default();
+
+        let d = self.dual_rhs();
+
+        // λ0 = G (GᵀG)⁻¹ e  (so that Gᵀ λ0 = e).
+        let y0 = self.gtg_factor.solve(&self.e);
+        let mut lambda = vec![0.0; nl];
+        ops::spmv_csr(1.0, &self.g, Transpose::No, &y0, 0.0, &mut lambda);
+
+        // r0 = d - F λ0
+        let mut f_lambda = vec![0.0; nl];
+        apply_time = apply_time.then(self.dual_op.apply(&lambda, &mut f_lambda));
+        let mut r: Vec<f64> = d.iter().zip(&f_lambda).map(|(a, b)| a - b).collect();
+
+        let mut w = self.project(&r);
+        let w0_norm = blas::norm2(&w).max(f64::MIN_POSITIVE);
+        let mut y = self.project(&self.precondition(&w));
+        let mut p = y.clone();
+        let mut wy = blas::dot(&w, &y);
+        let mut iterations = 0usize;
+        let mut residual = 1.0;
+
+        for k in 0..self.options.max_iterations {
+            residual = blas::norm2(&w) / w0_norm;
+            if residual < self.options.tolerance {
+                break;
+            }
+            iterations = k + 1;
+            let mut q = vec![0.0; nl];
+            apply_time = apply_time.then(self.dual_op.apply(&p, &mut q));
+            let pq = blas::dot(&p, &q);
+            if pq.abs() < f64::MIN_POSITIVE {
+                break;
+            }
+            let delta = wy / pq;
+            blas::axpy(delta, &p, &mut lambda);
+            blas::axpy(-delta, &q, &mut r);
+            w = self.project(&r);
+            y = self.project(&self.precondition(&w));
+            let wy_new = blas::dot(&w, &y);
+            let beta = wy_new / wy;
+            wy = wy_new;
+            for (pi, yi) in p.iter_mut().zip(&y) {
+                *pi = yi + beta * *pi;
+            }
+            residual = blas::norm2(&w) / w0_norm;
+        }
+
+        if residual >= self.options.tolerance && iterations >= self.options.max_iterations {
+            return Err(FetiError::NoConvergence { iterations, residual });
+        }
+
+        // α = (GᵀG)⁻¹ Gᵀ (F λ - d)
+        let mut f_lambda = vec![0.0; nl];
+        apply_time = apply_time.then(self.dual_op.apply(&lambda, &mut f_lambda));
+        let resid_dual: Vec<f64> = f_lambda.iter().zip(&d).map(|(a, b)| a - b).collect();
+        let mut gt_res = vec![0.0; self.g.ncols()];
+        ops::spmv_csr(1.0, &self.g, Transpose::Yes, &resid_dual, 0.0, &mut gt_res);
+        let alpha = self.gtg_factor.solve(&gt_res);
+
+        // u_i = K⁺ (f_i - B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ
+        let mut subdomain_solutions = Vec::with_capacity(self.problem.subdomains.len());
+        for (s, (sd, factor)) in
+            self.problem.subdomains.iter().zip(&self.recovery_factors).enumerate()
+        {
+            let lambda_local: Vec<f64> = sd.lambda_map.iter().map(|&g| lambda[g]).collect();
+            let mut rhs = sd.assembled.load.clone();
+            ops::spmv_csr(-1.0, &sd.gluing, Transpose::Yes, &lambda_local, 1.0, &mut rhs);
+            let mut u = factor.solve(&rhs);
+            for c in 0..self.kernel_dim {
+                let a = alpha[s * self.kernel_dim + c];
+                let r_col = sd.kernel.col(c);
+                blas::axpy(a, &r_col, &mut u);
+            }
+            subdomain_solutions.push(u);
+        }
+        let global_solution = self.problem.gather_solution(&subdomain_solutions);
+
+        Ok(FetiSolution {
+            lambda,
+            alpha,
+            subdomain_solutions,
+            global_solution,
+            iterations,
+            final_residual: residual,
+            preprocessing_time,
+            dual_apply_time: apply_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_decompose::DecompositionSpec;
+    use feti_mesh::{Dim, ElementOrder, Physics};
+
+    fn solve_with(
+        spec: &DecompositionSpec,
+        approach: DualOperatorApproach,
+    ) -> (FetiSolution, DecomposedProblem) {
+        let problem = DecomposedProblem::build(spec);
+        let mut solver =
+            TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default()).unwrap();
+        let sol = solver.solve().unwrap();
+        (sol, problem)
+    }
+
+    #[test]
+    fn heat_2d_converges_and_satisfies_constraints() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let (sol, problem) = solve_with(&spec, DualOperatorApproach::ImplicitCholmod);
+        assert!(sol.iterations > 0 && sol.iterations < 200);
+        assert!(sol.final_residual < 1e-8);
+        // Interface continuity and Dirichlet satisfaction.
+        assert!(problem.interface_jump(&sol.subdomain_solutions) < 1e-6);
+        for sd in &problem.subdomains {
+            for (node, lat) in sd.mesh.lattice.iter().enumerate() {
+                if lat[0] == 0 {
+                    let u = sol.subdomain_solutions[sd.index][node];
+                    assert!(u.abs() < 1e-6, "Dirichlet node has value {u}");
+                }
+            }
+        }
+        // Heat source over the unit square with u = 0 on one edge: interior values are
+        // positive.
+        let max = sol.global_solution.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 0.01, "solution should be positive somewhere, max = {max}");
+    }
+
+    #[test]
+    fn all_approaches_give_the_same_solution() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let (reference, _) = solve_with(&spec, DualOperatorApproach::ImplicitMkl);
+        for approach in [
+            DualOperatorApproach::ExplicitMkl,
+            DualOperatorApproach::ExplicitGpuLegacy,
+            DualOperatorApproach::ExplicitHybrid,
+        ] {
+            let (sol, _) = solve_with(&spec, approach);
+            assert_eq!(sol.global_solution.len(), reference.global_solution.len());
+            for (a, b) in sol.global_solution.iter().zip(&reference.global_solution) {
+                assert!((a - b).abs() < 1e-6, "{approach:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_2d_converges() {
+        let spec = DecompositionSpec {
+            dim: Dim::Two,
+            physics: Physics::LinearElasticity,
+            order: ElementOrder::Linear,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: 3,
+            subdomains_per_cluster: 4,
+        };
+        let (sol, problem) = solve_with(&spec, DualOperatorApproach::ExplicitGpuLegacy);
+        assert!(sol.final_residual < 1e-8);
+        assert!(problem.interface_jump(&sol.subdomain_solutions) < 1e-6);
+        // Gravity-like load pushes the body down: some negative vertical displacement.
+        let min = sol.global_solution.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min < -1e-6);
+    }
+
+    #[test]
+    fn heat_3d_quadratic_converges() {
+        let spec = DecompositionSpec {
+            dim: Dim::Three,
+            physics: Physics::HeatTransfer,
+            order: ElementOrder::Quadratic,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: 2,
+            subdomains_per_cluster: 8,
+        };
+        let (sol, problem) = solve_with(&spec, DualOperatorApproach::ExplicitGpuModern);
+        assert!(sol.final_residual < 1e-8);
+        assert!(problem.interface_jump(&sol.subdomain_solutions) < 1e-6);
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_annihilates_g() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let problem = DecomposedProblem::build(&spec);
+        let solver = TotalFetiSolver::new(
+            &problem,
+            DualOperatorApproach::ImplicitCholmod,
+            None,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        let x: Vec<f64> = (0..problem.num_lambdas).map(|i| (i as f64 * 0.3).sin()).collect();
+        let px = solver.project(&x);
+        let ppx = solver.project(&px);
+        for (a, b) in px.iter().zip(&ppx) {
+            assert!((a - b).abs() < 1e-10, "projector must be idempotent");
+        }
+        // Gᵀ P x = 0
+        let mut gtpx = vec![0.0; solver.g.ncols()];
+        ops::spmv_csr(1.0, &solver.g, Transpose::Yes, &px, 0.0, &mut gtpx);
+        assert!(blas::norm2(&gtpx) < 1e-9);
+    }
+
+    #[test]
+    fn multistep_reuses_preparation() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let problem = DecomposedProblem::build(&spec);
+        let mut solver = TotalFetiSolver::new(
+            &problem,
+            DualOperatorApproach::ExplicitGpuLegacy,
+            None,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        // Algorithm 2: repeated steps re-run preprocessing + PCPG on the same symbolic
+        // structures.
+        let s1 = solver.solve().unwrap();
+        let s2 = solver.solve().unwrap();
+        for (a, b) in s1.global_solution.iter().zip(&s2.global_solution) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Phase scheduling: combining measured CPU time with modelled GPU time under the
+//! paper's execution model (parallel subdomain loop, one CUDA stream per thread,
+//! asynchronous submission, a single synchronization at the end of the phase).
+
+use feti_gpu::{DeviceTimeline, GpuCost};
+
+/// Wall-clock budget of one phase split into its CPU and GPU parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Measured host time (seconds).
+    pub cpu_seconds: f64,
+    /// Modelled device time (seconds), already accounting for stream concurrency.
+    pub gpu_seconds: f64,
+    /// Phase wall time under the overlapped schedule (host work hides device work of
+    /// previously submitted subdomains); always `>= max(cpu, gpu part not hidden)`.
+    pub total_seconds: f64,
+}
+
+impl TimeBreakdown {
+    /// A purely CPU-side breakdown.
+    #[must_use]
+    pub fn cpu_only(seconds: f64) -> Self {
+        Self { cpu_seconds: seconds, gpu_seconds: 0.0, total_seconds: seconds }
+    }
+
+    /// Adds another breakdown assuming sequential phases (no overlap between them).
+    #[must_use]
+    pub fn then(self, other: TimeBreakdown) -> Self {
+        Self {
+            cpu_seconds: self.cpu_seconds + other.cpu_seconds,
+            gpu_seconds: self.gpu_seconds + other.gpu_seconds,
+            total_seconds: self.total_seconds + other.total_seconds,
+        }
+    }
+}
+
+/// Schedules one phase of Algorithm 2: a parallel loop over subdomains where each
+/// subdomain performs CPU work (factorization, conversions, submissions) and then
+/// enqueues GPU operations on its stream.
+///
+/// Subdomain `i` is handled by thread `i % num_threads` and stream `i % num_streams`
+/// (the paper uses 16 threads and 16 streams).  The phase ends with one device
+/// synchronization.
+#[derive(Debug)]
+pub struct PhaseScheduler {
+    thread_cpu: Vec<f64>,
+    timeline: DeviceTimeline,
+    total_cpu: f64,
+    total_gpu_busy: f64,
+}
+
+impl PhaseScheduler {
+    /// Creates a scheduler with the given host-thread and device-stream counts.
+    #[must_use]
+    pub fn new(num_threads: usize, num_streams: usize) -> Self {
+        assert!(num_threads > 0);
+        Self {
+            thread_cpu: vec![0.0; num_threads],
+            timeline: DeviceTimeline::new(num_streams.max(1)),
+            total_cpu: 0.0,
+            total_gpu_busy: 0.0,
+        }
+    }
+
+    /// Default configuration matching the paper's node share: 16 OpenMP threads and 16
+    /// CUDA streams per cluster.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(16, 16)
+    }
+
+    /// Records the work of one subdomain: `cpu_seconds` of host work followed by the
+    /// asynchronous submission of `gpu_ops` to the subdomain's stream.
+    pub fn record_subdomain(&mut self, subdomain: usize, cpu_seconds: f64, gpu_ops: &[GpuCost]) {
+        let t = subdomain % self.thread_cpu.len();
+        self.thread_cpu[t] += cpu_seconds;
+        self.total_cpu += cpu_seconds;
+        let ready = self.thread_cpu[t];
+        let stream = subdomain % self.timeline.num_streams();
+        for op in gpu_ops {
+            self.timeline.submit(stream, ready, op);
+            self.total_gpu_busy += op.seconds;
+        }
+    }
+
+    /// Ends the phase: the host reaches the synchronization point once every thread has
+    /// finished its CPU work, and the phase completes when the device drains.
+    #[must_use]
+    pub fn finish(&self) -> TimeBreakdown {
+        let host_done = self.thread_cpu.iter().copied().fold(0.0, f64::max);
+        let total = self.timeline.synchronize(host_done);
+        TimeBreakdown {
+            cpu_seconds: self.total_cpu,
+            gpu_seconds: self.total_gpu_busy,
+            total_seconds: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(seconds: f64) -> GpuCost {
+        GpuCost { seconds, bytes_moved: 0.0, flops: 0.0 }
+    }
+
+    #[test]
+    fn cpu_only_phase() {
+        let mut s = PhaseScheduler::new(2, 2);
+        s.record_subdomain(0, 1.0, &[]);
+        s.record_subdomain(1, 2.0, &[]);
+        let t = s.finish();
+        assert!((t.total_seconds - 2.0).abs() < 1e-12, "threads run in parallel");
+        assert!((t.cpu_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_work_overlaps_with_later_cpu_work() {
+        // One thread, one stream: subdomain 0's GPU work runs while subdomain 1's CPU
+        // work proceeds, exactly the overlap described in §IV-B.
+        let mut s = PhaseScheduler::new(1, 1);
+        s.record_subdomain(0, 1.0, &[gpu(0.8)]);
+        s.record_subdomain(1, 1.0, &[gpu(0.8)]);
+        let t = s.finish();
+        // CPU: 2.0 total.  GPU of subdomain 0 runs during subdomain 1's CPU second; GPU
+        // of subdomain 1 starts at max(2.0, 1.8) = 2.0 and ends at 2.8.
+        assert!((t.total_seconds - 2.8).abs() < 1e-9, "got {}", t.total_seconds);
+    }
+
+    #[test]
+    fn multiple_streams_increase_concurrency() {
+        let mut serial = PhaseScheduler::new(4, 1);
+        let mut parallel = PhaseScheduler::new(4, 4);
+        for i in 0..4 {
+            serial.record_subdomain(i, 0.0, &[gpu(1.0)]);
+            parallel.record_subdomain(i, 0.0, &[gpu(1.0)]);
+        }
+        assert!(serial.finish().total_seconds > parallel.finish().total_seconds * 2.0);
+    }
+
+    #[test]
+    fn breakdown_composition() {
+        let a = TimeBreakdown::cpu_only(1.0);
+        let b = TimeBreakdown { cpu_seconds: 0.5, gpu_seconds: 2.0, total_seconds: 2.0 };
+        let c = a.then(b);
+        assert!((c.total_seconds - 3.0).abs() < 1e-12);
+        assert!((c.cpu_seconds - 1.5).abs() < 1e-12);
+        assert!((c.gpu_seconds - 2.0).abs() < 1e-12);
+    }
+}

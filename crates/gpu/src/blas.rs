@@ -1,0 +1,167 @@
+//! cuBLAS-like dense kernels on the simulated device.
+//!
+//! Each routine really executes its host equivalent from `feti-sparse::blas` (so the
+//! numbers are exact) and returns the device-time [`GpuCost`] predicted by the cost
+//! model.  The memory order of the operands is honoured by the host kernels; following
+//! the paper's observation, it has no first-order effect on the modelled time (it
+//! mostly changes workspace sizes, which are handled in [`crate::sparse`]).
+
+use crate::cost::{self, GpuCost, GpuSpec};
+use feti_sparse::blas as hostblas;
+use feti_sparse::{DenseMatrix, DiagKind, Transpose, Triangle};
+
+/// Dense triangular solve (TRSM): solves `op(A) X = alpha B`, overwriting `B`.
+///
+/// # Errors
+/// Propagates singular-diagonal errors from the host kernel.
+pub fn trsm(
+    spec: &GpuSpec,
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &mut DenseMatrix,
+) -> feti_sparse::Result<GpuCost> {
+    hostblas::trsm(uplo, trans, diag, alpha, a, b)?;
+    Ok(cost::dense_trsm(spec, a.nrows(), b.ncols()))
+}
+
+/// Symmetric rank-k update (SYRK): `C = alpha op(A) op(A)ᵀ + beta C` on one triangle.
+pub fn syrk(
+    spec: &GpuSpec,
+    uplo: Triangle,
+    trans: Transpose,
+    alpha: f64,
+    a: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+) -> GpuCost {
+    hostblas::syrk(uplo, trans, alpha, a, beta, c);
+    let k = if trans.is_transposed() { a.nrows() } else { a.ncols() };
+    cost::syrk(spec, c.nrows(), k)
+}
+
+/// General matrix-matrix multiplication (GEMM).
+pub fn gemm(
+    spec: &GpuSpec,
+    alpha: f64,
+    a: &DenseMatrix,
+    transa: Transpose,
+    b: &DenseMatrix,
+    transb: Transpose,
+    beta: f64,
+    c: &mut DenseMatrix,
+) -> GpuCost {
+    hostblas::gemm(alpha, a, transa, b, transb, beta, c);
+    let k = if transa.is_transposed() { a.nrows() } else { a.ncols() };
+    cost::gemm(spec, c.nrows(), k, c.ncols())
+}
+
+/// General matrix-vector multiplication (GEMV).
+pub fn gemv(
+    spec: &GpuSpec,
+    alpha: f64,
+    a: &DenseMatrix,
+    trans: Transpose,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> GpuCost {
+    hostblas::gemv(alpha, a, trans, x, beta, y);
+    cost::gemv(spec, a.nrows(), a.ncols())
+}
+
+/// Symmetric matrix-vector multiplication (SYMV) referencing one triangle only.
+pub fn symv(
+    spec: &GpuSpec,
+    uplo: Triangle,
+    alpha: f64,
+    a: &DenseMatrix,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> GpuCost {
+    hostblas::symv(uplo, alpha, a, x, beta, y);
+    cost::symv(spec, a.nrows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_sparse::MemoryOrder;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100_40gb()
+    }
+
+    #[test]
+    fn trsm_result_matches_host_and_reports_cost() {
+        let a = DenseMatrix::from_row_slice(
+            2,
+            2,
+            &[2.0, 0.0, 1.0, 4.0],
+            MemoryOrder::ColMajor,
+        );
+        let mut b = DenseMatrix::from_row_slice(2, 1, &[2.0, 6.0], MemoryOrder::ColMajor);
+        let c = trsm(
+            &spec(),
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+        )
+        .unwrap();
+        assert!((b.get(0, 0) - 1.0).abs() < 1e-14);
+        assert!((b.get(1, 0) - 1.25).abs() < 1e-14);
+        assert!(c.seconds > 0.0);
+    }
+
+    #[test]
+    fn syrk_and_gemm_agree_on_symmetric_product() {
+        let a = DenseMatrix::from_row_slice(
+            3,
+            2,
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            MemoryOrder::RowMajor,
+        );
+        let s = spec();
+        let mut c1 = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+        let cost1 = syrk(&s, Triangle::Upper, Transpose::Yes, 1.0, &a, 0.0, &mut c1);
+        c1.symmetrize_from(Triangle::Upper);
+        let mut c2 = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+        let cost2 = gemm(&s, 1.0, &a, Transpose::Yes, &a, Transpose::No, 0.0, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+        // SYRK touches half the output of the GEMM, so it must not be slower.
+        assert!(cost1.seconds <= cost2.seconds);
+    }
+
+    #[test]
+    fn gemv_and_symv_match() {
+        let s = spec();
+        let mut full = DenseMatrix::zeros(3, 3, MemoryOrder::ColMajor);
+        for i in 0..3 {
+            for j in 0..3 {
+                full.set(i, j, (1 + i.min(j) + 2 * i.max(j)) as f64);
+            }
+        }
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        gemv(&s, 1.0, &full, Transpose::No, &x, 0.0, &mut y1);
+        // keep only the upper triangle and use symv
+        let mut upper = DenseMatrix::zeros(3, 3, MemoryOrder::ColMajor);
+        for i in 0..3 {
+            for j in i..3 {
+                upper.set(i, j, full.get(i, j));
+            }
+        }
+        let mut y2 = vec![0.0; 3];
+        let c = symv(&s, Triangle::Upper, 1.0, &upper, &x, 0.0, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(c.seconds > 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The calibrated cost model of the simulated device.
+//!
+//! Kernel times are modelled with the standard roofline split: a fixed kernel-launch
+//! latency plus the maximum of the memory-traffic term and the arithmetic term.  The
+//! default constants approximate one NVIDIA A100-40GB as used on the Karolina GPU
+//! partition.  Absolute times will not match the paper's testbed; the model exists so
+//! that the *relative* behaviour (launch-overhead domination for tiny subdomains,
+//! bandwidth-bound TRSM/SYRK for large ones, poor modern sparse TRSM, PCIe transfer
+//! costs) has the same shape.
+
+/// Hardware characteristics of the simulated device.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// Fixed cost of submitting one kernel (seconds).
+    pub kernel_launch_seconds: f64,
+    /// Effective device memory bandwidth (bytes/second).
+    pub memory_bandwidth: f64,
+    /// Effective FP64 throughput (FLOP/second).
+    pub flops_fp64: f64,
+    /// Host-device transfer bandwidth (bytes/second).
+    pub pcie_bandwidth: f64,
+    /// Host-device transfer latency per operation (seconds).
+    pub pcie_latency_seconds: f64,
+    /// Device memory capacity (bytes).
+    pub memory_capacity_bytes: usize,
+    /// Efficiency factor (0..1] of the legacy cuSPARSE triangular solve.
+    pub sparse_trsm_efficiency_legacy: f64,
+    /// Efficiency factor (0..1] of the modern (generic API) cuSPARSE triangular solve;
+    /// the paper found it to be far slower than the legacy one.
+    pub sparse_trsm_efficiency_modern: f64,
+}
+
+impl GpuSpec {
+    /// An A100-40GB-like device.
+    #[must_use]
+    pub fn a100_40gb() -> Self {
+        Self {
+            kernel_launch_seconds: 8.0e-6,
+            memory_bandwidth: 1.4e12,
+            flops_fp64: 9.0e12,
+            pcie_bandwidth: 2.2e10,
+            pcie_latency_seconds: 1.0e-5,
+            memory_capacity_bytes: 40 * 1024 * 1024 * 1024,
+            sparse_trsm_efficiency_legacy: 0.25,
+            sparse_trsm_efficiency_modern: 0.03,
+        }
+    }
+}
+
+/// The modelled cost of one device operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCost {
+    /// Modelled execution time (seconds), including launch overhead.
+    pub seconds: f64,
+    /// Bytes of device memory traffic the model assumed.
+    pub bytes_moved: f64,
+    /// Floating point operations the model assumed.
+    pub flops: f64,
+}
+
+impl GpuCost {
+    /// A zero cost (used as the identity when accumulating).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { seconds: 0.0, bytes_moved: 0.0, flops: 0.0 }
+    }
+
+    /// Sum of two costs (sequential execution).
+    #[must_use]
+    pub fn plus(self, other: GpuCost) -> Self {
+        Self {
+            seconds: self.seconds + other.seconds,
+            bytes_moved: self.bytes_moved + other.bytes_moved,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+fn roofline(spec: &GpuSpec, bytes: f64, flops: f64) -> GpuCost {
+    let t = spec.kernel_launch_seconds + (bytes / spec.memory_bandwidth).max(flops / spec.flops_fp64);
+    GpuCost { seconds: t, bytes_moved: bytes, flops }
+}
+
+/// Cost of a host-device (or device-host) transfer of `bytes`.
+#[must_use]
+pub fn transfer(spec: &GpuSpec, bytes: usize) -> GpuCost {
+    GpuCost {
+        seconds: spec.pcie_latency_seconds + bytes as f64 / spec.pcie_bandwidth,
+        bytes_moved: bytes as f64,
+        flops: 0.0,
+    }
+}
+
+/// Cost of a dense triangular solve with `n x n` factor and `nrhs` right-hand sides.
+#[must_use]
+pub fn dense_trsm(spec: &GpuSpec, n: usize, nrhs: usize) -> GpuCost {
+    let nf = n as f64;
+    let rf = nrhs as f64;
+    let flops = nf * nf * rf;
+    let bytes = (nf * nf / 2.0 + 2.0 * nf * rf) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a SYRK producing an `n x n` result from a `k x n` operand.
+#[must_use]
+pub fn syrk(spec: &GpuSpec, n: usize, k: usize) -> GpuCost {
+    let nf = n as f64;
+    let kf = k as f64;
+    let flops = nf * nf * kf;
+    let bytes = (kf * nf + nf * nf / 2.0) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a GEMM `m x k` times `k x n`.
+#[must_use]
+pub fn gemm(spec: &GpuSpec, m: usize, k: usize, n: usize) -> GpuCost {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let bytes = (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a dense matrix-vector product (`GEMV`) with an `m x n` matrix.
+#[must_use]
+pub fn gemv(spec: &GpuSpec, m: usize, n: usize) -> GpuCost {
+    let flops = 2.0 * m as f64 * n as f64;
+    let bytes = (m as f64 * n as f64 + m as f64 + n as f64) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a symmetric matrix-vector product (`SYMV`) with an `n x n` matrix stored as
+/// one triangle (half the traffic of GEMV).
+#[must_use]
+pub fn symv(spec: &GpuSpec, n: usize) -> GpuCost {
+    let flops = 2.0 * n as f64 * n as f64;
+    let bytes = (n as f64 * n as f64 / 2.0 + 2.0 * n as f64) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a sparse matrix-vector product with `nnz` stored entries.
+#[must_use]
+pub fn spmv(spec: &GpuSpec, nnz: usize, nrows: usize) -> GpuCost {
+    let bytes = (nnz as f64 * 12.0 + nrows as f64 * 16.0) * 1.0;
+    let flops = 2.0 * nnz as f64;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a sparse-times-dense multiplication (`SpMM`) with `nnz` entries and `nrhs`
+/// dense columns.
+#[must_use]
+pub fn spmm(spec: &GpuSpec, nnz: usize, nrows: usize, nrhs: usize) -> GpuCost {
+    let bytes = (nnz as f64 * 12.0) + (nrows as f64 * nrhs as f64 * 16.0);
+    let flops = 2.0 * nnz as f64 * nrhs as f64;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a sparse triangular solve with a dense multi-RHS (the cuSPARSE TRSM),
+/// parameterized by the API generation efficiency.
+///
+/// Sparse triangular solves are limited by the level-scheduling dependency chain, which
+/// the efficiency factor models: the kernel only reaches `efficiency * bandwidth`.
+#[must_use]
+pub fn sparse_trsm(
+    spec: &GpuSpec,
+    nnz_factor: usize,
+    n: usize,
+    nrhs: usize,
+    efficiency: f64,
+) -> GpuCost {
+    let traffic = (nnz_factor as f64 * 12.0) * (nrhs as f64).sqrt().max(1.0)
+        + 2.0 * n as f64 * nrhs as f64 * 8.0;
+    let flops = 2.0 * nnz_factor as f64 * nrhs as f64;
+    let t = spec.kernel_launch_seconds
+        + (traffic / (spec.memory_bandwidth * efficiency)).max(flops / spec.flops_fp64);
+    GpuCost { seconds: t, bytes_moved: traffic, flops }
+}
+
+/// Cost of converting a sparse matrix (nnz entries) to a dense `rows x cols` matrix on
+/// the device.
+#[must_use]
+pub fn sparse_to_dense(spec: &GpuSpec, nnz: usize, rows: usize, cols: usize) -> GpuCost {
+    let bytes = nnz as f64 * 12.0 + rows as f64 * cols as f64 * 8.0;
+    roofline(spec, bytes, nnz as f64)
+}
+
+/// Cost of a scatter or gather of `n` values on the device.
+#[must_use]
+pub fn scatter_gather(spec: &GpuSpec, n: usize) -> GpuCost {
+    roofline(spec, n as f64 * 16.0, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100_40gb()
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let s = spec();
+        let c = gemv(&s, 8, 8);
+        assert!(c.seconds < 2.0 * s.kernel_launch_seconds);
+        assert!(c.seconds >= s.kernel_launch_seconds);
+    }
+
+    #[test]
+    fn large_kernels_are_bandwidth_or_compute_bound() {
+        let s = spec();
+        let c = dense_trsm(&s, 4096, 1024);
+        assert!(c.seconds > 10.0 * s.kernel_launch_seconds);
+        assert!(c.flops > 1e10);
+    }
+
+    #[test]
+    fn modern_sparse_trsm_is_slower_than_legacy() {
+        let s = spec();
+        let legacy = sparse_trsm(&s, 500_000, 10_000, 2_000, s.sparse_trsm_efficiency_legacy);
+        let modern = sparse_trsm(&s, 500_000, 10_000, 2_000, s.sparse_trsm_efficiency_modern);
+        assert!(modern.seconds > 3.0 * legacy.seconds);
+    }
+
+    #[test]
+    fn syrk_cheaper_than_equivalent_trsm() {
+        // The paper's SYRK path wins because SYRK touches a smaller output than a
+        // second TRSM of the full right-hand side.
+        let s = spec();
+        let n = 2000; // lambdas
+        let k = 8000; // dofs
+        let c_syrk = syrk(&s, n, k);
+        let c_trsm = dense_trsm(&s, k, n);
+        assert!(c_syrk.seconds < c_trsm.seconds);
+    }
+
+    #[test]
+    fn transfers_scale_linearly() {
+        let s = spec();
+        let one = transfer(&s, 1_000_000);
+        let ten = transfer(&s, 10_000_000);
+        assert!(ten.seconds > 5.0 * (one.seconds - s.pcie_latency_seconds));
+    }
+
+    #[test]
+    fn cost_accumulation() {
+        let a = GpuCost { seconds: 1.0, bytes_moved: 10.0, flops: 100.0 };
+        let b = GpuCost { seconds: 2.0, bytes_moved: 20.0, flops: 200.0 };
+        let c = a.plus(b);
+        assert_eq!(c.seconds, 3.0);
+        assert_eq!(c.bytes_moved, 30.0);
+        assert_eq!(c.flops, 300.0);
+        assert_eq!(GpuCost::zero().seconds, 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Device memory management: persistent allocations plus a blocking temporary pool.
+//!
+//! §IV-A of the paper splits GPU memory into a *persistent* part (factors, `B̃ᵢ`,
+//! `F̃ᵢ`, dual vectors, library workspaces — allocated once in the preparation phase)
+//! and a *temporary* part handled by a pool allocator: buffers needed only for the
+//! duration of one kernel are served from the pool, and a thread that cannot be served
+//! blocks until other threads release enough memory.  This module reproduces that
+//! allocator (sizes are tracked logically; no real device memory exists).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Errors reported by the memory manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// A persistent allocation would exceed the device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// A temporary allocation is larger than the whole pool and can never succeed.
+    LargerThanPool {
+        /// Bytes requested.
+        requested: usize,
+        /// Total pool size.
+        pool: usize,
+    },
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested} bytes, {available} available")
+            }
+            MemoryError::LargerThanPool { requested, pool } => {
+                write!(f, "temporary request of {requested} bytes exceeds the pool of {pool} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Snapshot of the device memory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Total device capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Bytes held by persistent allocations.
+    pub persistent_bytes: usize,
+    /// Size of the temporary pool (0 until [`MemoryManager::reserve_temporary_pool`]).
+    pub temporary_pool_bytes: usize,
+    /// Bytes of the temporary pool currently in use.
+    pub temporary_in_use_bytes: usize,
+    /// High-water mark of temporary pool usage.
+    pub temporary_peak_bytes: usize,
+}
+
+/// Logical device memory manager.
+#[derive(Debug)]
+pub struct MemoryManager {
+    capacity: usize,
+    persistent: usize,
+    pool_size: usize,
+    pool_state: Arc<PoolState>,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    inner: Mutex<PoolInner>,
+    freed: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    in_use: usize,
+    peak: usize,
+    pool_size: usize,
+}
+
+impl MemoryManager {
+    /// Creates a manager for a device with `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            persistent: 0,
+            pool_size: 0,
+            pool_state: Arc::new(PoolState {
+                inner: Mutex::new(PoolInner { in_use: 0, peak: 0, pool_size: 0 }),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Allocates persistent memory.
+    ///
+    /// # Errors
+    /// Returns [`MemoryError::OutOfMemory`] when the request exceeds the remaining
+    /// capacity (capacity minus persistent allocations minus the reserved pool).
+    pub fn alloc_persistent(&mut self, bytes: usize) -> Result<(), MemoryError> {
+        let available = self.capacity - self.persistent - self.pool_size;
+        if bytes > available {
+            return Err(MemoryError::OutOfMemory { requested: bytes, available });
+        }
+        self.persistent += bytes;
+        Ok(())
+    }
+
+    /// Frees persistent memory.
+    pub fn free_persistent(&mut self, bytes: usize) {
+        self.persistent = self.persistent.saturating_sub(bytes);
+    }
+
+    /// Dedicates all remaining memory to the temporary pool.
+    pub fn reserve_temporary_pool(&mut self) {
+        self.pool_size = self.capacity - self.persistent;
+        self.pool_state.inner.lock().pool_size = self.pool_size;
+    }
+
+    /// Allocates `bytes` from the temporary pool, blocking while the pool is full.
+    ///
+    /// # Errors
+    /// Returns [`MemoryError::LargerThanPool`] if the request exceeds the pool size.
+    pub fn alloc_temporary(
+        manager: &Mutex<MemoryManager>,
+        bytes: usize,
+    ) -> Result<TempAlloc, MemoryError> {
+        let pool_state = {
+            let m = manager.lock();
+            Arc::clone(&m.pool_state)
+        };
+        let mut inner = pool_state.inner.lock();
+        if bytes > inner.pool_size {
+            return Err(MemoryError::LargerThanPool { requested: bytes, pool: inner.pool_size });
+        }
+        while inner.in_use + bytes > inner.pool_size {
+            pool_state.freed.wait(&mut inner);
+        }
+        inner.in_use += bytes;
+        inner.peak = inner.peak.max(inner.in_use);
+        drop(inner);
+        Ok(TempAlloc { bytes, pool: pool_state })
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        let inner = self.pool_state.inner.lock();
+        MemoryStats {
+            capacity_bytes: self.capacity,
+            persistent_bytes: self.persistent,
+            temporary_pool_bytes: self.pool_size,
+            temporary_in_use_bytes: inner.in_use,
+            temporary_peak_bytes: inner.peak,
+        }
+    }
+}
+
+/// RAII guard of a temporary-pool allocation: dropping it returns the memory to the
+/// pool and wakes blocked allocators.
+#[derive(Debug)]
+pub struct TempAlloc {
+    bytes: usize,
+    pool: Arc<PoolState>,
+}
+
+impl TempAlloc {
+    /// Size of this allocation in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for TempAlloc {
+    fn drop(&mut self) {
+        let mut inner = self.pool.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(self.bytes);
+        drop(inner);
+        self.pool.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn persistent_allocation_respects_capacity() {
+        let mut m = MemoryManager::new(1000);
+        m.alloc_persistent(600).unwrap();
+        let err = m.alloc_persistent(500).unwrap_err();
+        assert!(matches!(err, MemoryError::OutOfMemory { available: 400, .. }));
+        m.free_persistent(600);
+        m.alloc_persistent(900).unwrap();
+    }
+
+    #[test]
+    fn pool_reserves_remaining_memory() {
+        let mut m = MemoryManager::new(1000);
+        m.alloc_persistent(300).unwrap();
+        m.reserve_temporary_pool();
+        let s = m.stats();
+        assert_eq!(s.temporary_pool_bytes, 700);
+        // Further persistent allocations now fail: everything is in the pool.
+        assert!(m.alloc_persistent(1).is_err());
+    }
+
+    #[test]
+    fn temporary_allocations_are_raii() {
+        let mut m = MemoryManager::new(1000);
+        m.reserve_temporary_pool();
+        let m = Mutex::new(m);
+        let a = MemoryManager::alloc_temporary(&m, 400).unwrap();
+        let b = MemoryManager::alloc_temporary(&m, 400).unwrap();
+        assert_eq!(m.lock().stats().temporary_in_use_bytes, 800);
+        drop(a);
+        assert_eq!(m.lock().stats().temporary_in_use_bytes, 400);
+        drop(b);
+        let s = m.lock().stats();
+        assert_eq!(s.temporary_in_use_bytes, 0);
+        assert_eq!(s.temporary_peak_bytes, 800);
+    }
+
+    #[test]
+    fn oversized_temporary_request_is_rejected() {
+        let mut m = MemoryManager::new(100);
+        m.reserve_temporary_pool();
+        let m = Mutex::new(m);
+        let err = MemoryManager::alloc_temporary(&m, 200).unwrap_err();
+        assert!(matches!(err, MemoryError::LargerThanPool { .. }));
+    }
+
+    #[test]
+    fn blocked_allocation_resumes_when_memory_is_freed() {
+        let mut m = MemoryManager::new(1000);
+        m.reserve_temporary_pool();
+        let m = std::sync::Arc::new(Mutex::new(m));
+        let first = MemoryManager::alloc_temporary(&m, 800).unwrap();
+        let m2 = std::sync::Arc::clone(&m);
+        let handle = std::thread::spawn(move || {
+            // This blocks until `first` is dropped.
+            let _second = MemoryManager::alloc_temporary(&m2, 600).unwrap();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished(), "allocation should be blocked while the pool is full");
+        drop(first);
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn error_messages_mention_sizes() {
+        let e = MemoryError::OutOfMemory { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = MemoryError::LargerThanPool { requested: 10, pool: 5 };
+        assert!(e.to_string().contains("pool"));
+    }
+}

@@ -1,0 +1,344 @@
+//! cuSPARSE-like sparse kernels on the simulated device, in two API generations.
+//!
+//! The paper compares the *legacy* cuSPARSE API (CUDA 11.7, block triangular solves,
+//! modest workspaces whose size depends on the factor/RHS memory order) with the
+//! *modern* generic API (CUDA 12.4, much slower sparse TRSM and very large persistent
+//! workspaces independent of the layout parameters).  Both behaviours are reproduced
+//! here: the numerics are identical (and exact), the cost and the workspace-size
+//! queries differ.
+
+use crate::cost::{self, GpuCost, GpuSpec};
+use crate::CudaGeneration;
+use feti_sparse::ops as hostops;
+use feti_sparse::{CscMatrix, CsrMatrix, DenseMatrix, DiagKind, MemoryOrder, Transpose, Triangle};
+
+/// Sparse storage handed to the triangular solve: CSR corresponds to a row-major
+/// factor, CSC to a column-major factor (the paper's "factor order" parameter).
+#[derive(Debug, Clone)]
+pub enum SparseFactor {
+    /// Compressed sparse row factor.
+    Csr(CsrMatrix),
+    /// Compressed sparse column factor.
+    Csc(CscMatrix),
+}
+
+impl SparseFactor {
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        match self {
+            SparseFactor::Csr(m) => m.nnz(),
+            SparseFactor::Csc(m) => m.nnz(),
+        }
+    }
+
+    /// Matrix dimension (factors are square).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            SparseFactor::Csr(m) => m.nrows(),
+            SparseFactor::Csc(m) => m.nrows(),
+        }
+    }
+
+    /// Approximate device memory footprint in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        match self {
+            SparseFactor::Csr(m) => m.bytes(),
+            SparseFactor::Csc(m) => m.bytes(),
+        }
+    }
+}
+
+/// Workspace requirements of a sparse TRSM call as reported by the API's buffer-size
+/// query (§IV-C of the paper: factor order and RHS order change the legacy workspace;
+/// the modern API always wants a large persistent buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrsmWorkspace {
+    /// Bytes that must stay allocated for the lifetime of the solver instance.
+    pub persistent_bytes: usize,
+    /// Bytes needed only for the duration of the kernel (served by the temporary pool).
+    pub temporary_bytes: usize,
+}
+
+/// Buffer-size query for the sparse TRSM.
+#[must_use]
+pub fn sparse_trsm_workspace(
+    generation: CudaGeneration,
+    factor: &SparseFactor,
+    rhs_rows: usize,
+    rhs_cols: usize,
+    rhs_order: MemoryOrder,
+) -> TrsmWorkspace {
+    let factor_bytes = factor.bytes();
+    let rhs_bytes = rhs_rows * rhs_cols * 8;
+    match generation {
+        CudaGeneration::Legacy => {
+            let mut temporary = factor.dim() * 8;
+            let mut persistent = factor.dim() * 16;
+            if matches!(factor, SparseFactor::Csc(_)) {
+                // Column-major factors force an internal transposed copy.
+                temporary += factor_bytes;
+                persistent += factor_bytes;
+            }
+            if rhs_order == MemoryOrder::ColMajor {
+                // Column-major right-hand sides force an internal row-major copy.
+                temporary += rhs_bytes;
+            }
+            TrsmWorkspace { persistent_bytes: persistent, temporary_bytes: temporary }
+        }
+        CudaGeneration::Modern => TrsmWorkspace {
+            persistent_bytes: 2 * factor_bytes + 2 * rhs_bytes,
+            temporary_bytes: rhs_bytes,
+        },
+    }
+}
+
+/// Sparse triangular solve with a dense multi-column right-hand side
+/// (`op(L) X = alpha B`, `B` overwritten).
+///
+/// # Errors
+/// Propagates singular-diagonal errors from the host kernel.
+pub fn sparse_trsm(
+    spec: &GpuSpec,
+    generation: CudaGeneration,
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    alpha: f64,
+    factor: &SparseFactor,
+    b: &mut DenseMatrix,
+) -> feti_sparse::Result<GpuCost> {
+    match factor {
+        SparseFactor::Csr(l) => hostops::sptrsm_csr(uplo, trans, diag, alpha, l, b)?,
+        SparseFactor::Csc(l) => hostops::sptrsm_csc(uplo, trans, diag, alpha, l, b)?,
+    }
+    let eff = match generation {
+        CudaGeneration::Legacy => spec.sparse_trsm_efficiency_legacy,
+        CudaGeneration::Modern => spec.sparse_trsm_efficiency_modern,
+    };
+    Ok(cost::sparse_trsm(spec, factor.nnz(), factor.dim(), b.ncols(), eff))
+}
+
+/// Sparse-times-dense multiplication (SpMM): `C = alpha op(A) B + beta C`.
+pub fn spmm(
+    spec: &GpuSpec,
+    alpha: f64,
+    a: &CsrMatrix,
+    trans: Transpose,
+    b: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+) -> GpuCost {
+    hostops::spmm_csr_dense(alpha, a, trans, b, beta, c);
+    cost::spmm(spec, a.nnz(), c.nrows(), c.ncols())
+}
+
+/// Sparse matrix-vector multiplication (SpMV): `y = alpha op(A) x + beta y`.
+pub fn spmv(
+    spec: &GpuSpec,
+    alpha: f64,
+    a: &CsrMatrix,
+    trans: Transpose,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) -> GpuCost {
+    hostops::spmv_csr(alpha, a, trans, x, beta, y);
+    cost::spmv(spec, a.nnz(), a.nrows())
+}
+
+/// Sparse triangular solve with a single right-hand side (used by the implicit GPU
+/// dual operator).
+///
+/// # Errors
+/// Propagates singular-diagonal errors from the host kernel.
+pub fn sparse_trsv(
+    spec: &GpuSpec,
+    generation: CudaGeneration,
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    factor: &SparseFactor,
+    b: &mut [f64],
+) -> feti_sparse::Result<GpuCost> {
+    match factor {
+        SparseFactor::Csr(l) => hostops::sptrsv_csr(uplo, trans, diag, l, b)?,
+        SparseFactor::Csc(l) => hostops::sptrsv_csc(uplo, trans, diag, l, b)?,
+    }
+    let eff = match generation {
+        CudaGeneration::Legacy => spec.sparse_trsm_efficiency_legacy,
+        CudaGeneration::Modern => spec.sparse_trsm_efficiency_modern,
+    };
+    Ok(cost::sparse_trsm(spec, factor.nnz(), factor.dim(), 1, eff))
+}
+
+/// Converts a sparse matrix to dense on the device (the paper converts `B̃ᵢ` and,
+/// optionally, the factors on the GPU to minimize transferred data).
+pub fn sparse_to_dense(
+    spec: &GpuSpec,
+    a: &CsrMatrix,
+    order: MemoryOrder,
+) -> (DenseMatrix, GpuCost) {
+    let d = a.to_dense(order);
+    let c = cost::sparse_to_dense(spec, a.nnz(), a.nrows(), a.ncols());
+    (d, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_sparse::CooMatrix;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100_40gb()
+    }
+
+    fn lower_factor(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 + i as f64 * 0.1);
+            if i > 0 {
+                coo.push(i, i - 1, -0.5);
+            }
+            if i > 3 {
+                coo.push(i, i - 4, 0.25);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_and_csc_factors_give_identical_solutions() {
+        let l = lower_factor(12);
+        let rhs_vals: Vec<f64> = (0..12 * 3).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut b1 = DenseMatrix::from_row_slice(12, 3, &rhs_vals, MemoryOrder::RowMajor);
+        let mut b2 = DenseMatrix::from_row_slice(12, 3, &rhs_vals, MemoryOrder::ColMajor);
+        let s = spec();
+        sparse_trsm(
+            &s,
+            CudaGeneration::Legacy,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &SparseFactor::Csr(l.clone()),
+            &mut b1,
+        )
+        .unwrap();
+        sparse_trsm(
+            &s,
+            CudaGeneration::Modern,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &SparseFactor::Csc(l.to_csc()),
+            &mut b2,
+        )
+        .unwrap();
+        assert!(b1.max_abs_diff(&b2) < 1e-12);
+    }
+
+    #[test]
+    fn modern_generation_is_slower_and_hungrier() {
+        let l = lower_factor(500);
+        let factor = SparseFactor::Csr(l);
+        let s = spec();
+        let mut b_leg =
+            DenseMatrix::zeros(500, 100, MemoryOrder::RowMajor);
+        let mut b_mod = b_leg.clone();
+        let c_leg = sparse_trsm(
+            &s,
+            CudaGeneration::Legacy,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &factor,
+            &mut b_leg,
+        )
+        .unwrap();
+        let c_mod = sparse_trsm(
+            &s,
+            CudaGeneration::Modern,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &factor,
+            &mut b_mod,
+        )
+        .unwrap();
+        assert!(c_mod.seconds > c_leg.seconds);
+        let w_leg = sparse_trsm_workspace(CudaGeneration::Legacy, &factor, 500, 100, MemoryOrder::RowMajor);
+        let w_mod = sparse_trsm_workspace(CudaGeneration::Modern, &factor, 500, 100, MemoryOrder::RowMajor);
+        assert!(w_mod.persistent_bytes > w_leg.persistent_bytes);
+    }
+
+    #[test]
+    fn legacy_workspace_depends_on_layouts_as_in_the_paper() {
+        let l = lower_factor(200);
+        let csr = SparseFactor::Csr(l.clone());
+        let csc = SparseFactor::Csc(l.to_csc());
+        // CSC factor needs roughly an extra factor-sized buffer.
+        let w_csr = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
+        let w_csc = sparse_trsm_workspace(CudaGeneration::Legacy, &csc, 200, 50, MemoryOrder::RowMajor);
+        assert!(w_csc.temporary_bytes >= w_csr.temporary_bytes + csr.bytes() / 2);
+        // Column-major RHS needs roughly an extra RHS-sized buffer.
+        let w_rm = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
+        let w_cm = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::ColMajor);
+        assert_eq!(w_cm.temporary_bytes - w_rm.temporary_bytes, 200 * 50 * 8);
+        // Modern workspace is layout independent.
+        let m1 = sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::RowMajor);
+        let m2 = sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::ColMajor);
+        assert_eq!(m1.persistent_bytes, m2.persistent_bytes);
+    }
+
+    #[test]
+    fn spmm_and_spmv_execute_host_kernels() {
+        let a = lower_factor(10);
+        let s = spec();
+        let b = DenseMatrix::identity(10, MemoryOrder::ColMajor);
+        let mut c = DenseMatrix::zeros(10, 10, MemoryOrder::RowMajor);
+        let cost_mm = spmm(&s, 1.0, &a, Transpose::No, &b, 0.0, &mut c);
+        assert!(cost_mm.seconds > 0.0);
+        assert!(c.max_abs_diff(&a.to_dense(MemoryOrder::RowMajor)) < 1e-14);
+        let x = vec![1.0; 10];
+        let mut y = vec![0.0; 10];
+        let cost_mv = spmv(&s, 1.0, &a, Transpose::No, &x, 0.0, &mut y);
+        assert!(cost_mv.seconds > 0.0);
+    }
+
+    #[test]
+    fn sparse_to_dense_conversion() {
+        let a = lower_factor(6);
+        let (d, c) = sparse_to_dense(&spec(), &a, MemoryOrder::ColMajor);
+        assert!(c.seconds > 0.0);
+        assert!(d.max_abs_diff(&a.to_dense(MemoryOrder::RowMajor).into_order(MemoryOrder::ColMajor)) < 1e-14);
+    }
+
+    #[test]
+    fn sparse_trsv_single_rhs() {
+        let l = lower_factor(8);
+        let mut b = vec![1.0; 8];
+        let c = sparse_trsv(
+            &spec(),
+            CudaGeneration::Legacy,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            &SparseFactor::Csr(l.clone()),
+            &mut b,
+        )
+        .unwrap();
+        assert!(c.seconds > 0.0);
+        // verify L * b == ones
+        let mut check = vec![0.0; 8];
+        hostops::spmv_csr(1.0, &l, Transpose::No, &b, 0.0, &mut check);
+        for v in check {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

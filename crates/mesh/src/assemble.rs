@@ -1,0 +1,351 @@
+//! FEM assembly of subdomain stiffness matrices and load vectors.
+//!
+//! Supports scalar heat transfer (unit conductivity, unit volumetric source) and
+//! isotropic linear elasticity (E = 1, ν = 0.3, unit body force along the last axis).
+//! The material constants are fixed because the paper's experiments only depend on the
+//! *structure* of the matrices, not on particular material values.
+
+use crate::generate::StructuredMesh;
+use crate::shape::{nodes_per_element, quadrature, shape_gradients, shape_values};
+use crate::{Dim, Physics};
+use feti_sparse::{CooMatrix, CsrMatrix};
+
+/// Young's modulus used for elasticity assembly.
+pub const YOUNG_MODULUS: f64 = 1.0;
+/// Poisson ratio used for elasticity assembly.
+pub const POISSON_RATIO: f64 = 0.3;
+
+/// An assembled subdomain: stiffness matrix, load vector and DOF layout.
+#[derive(Debug, Clone)]
+pub struct AssembledSubdomain {
+    /// Subdomain stiffness matrix `Kᵢ` (symmetric, typically singular before
+    /// regularization because the subdomain floats).
+    pub stiffness: CsrMatrix,
+    /// Subdomain load vector `fᵢ`.
+    pub load: Vec<f64>,
+    /// Degrees of freedom per node.
+    pub dofs_per_node: usize,
+    /// Number of nodes (DOF count = `num_nodes * dofs_per_node`).
+    pub num_nodes: usize,
+}
+
+impl AssembledSubdomain {
+    /// Total number of degrees of freedom.
+    #[must_use]
+    pub fn num_dofs(&self) -> usize {
+        self.num_nodes * self.dofs_per_node
+    }
+}
+
+/// Assembles the stiffness matrix and load vector of one subdomain mesh for the given
+/// physics.
+#[must_use]
+pub fn assemble_subdomain(mesh: &StructuredMesh, physics: Physics) -> AssembledSubdomain {
+    let dim = mesh.dim.as_usize();
+    let dofs_per_node = physics.dofs_per_node(mesh.dim);
+    let n_dofs = mesh.num_nodes() * dofs_per_node;
+    let npe = nodes_per_element(mesh.dim, mesh.order);
+    let edofs = npe * dofs_per_node;
+
+    let quad = quadrature(mesh.dim);
+    let mut coo = CooMatrix::with_capacity(n_dofs, n_dofs, mesh.num_elements() * edofs * edofs);
+    let mut load = vec![0.0f64; n_dofs];
+
+    let d_matrix = elasticity_d(mesh.dim);
+    let mut ke = vec![0.0f64; edofs * edofs];
+    let mut fe = vec![0.0f64; edofs];
+
+    for conn in &mesh.elements {
+        ke.iter_mut().for_each(|v| *v = 0.0);
+        fe.iter_mut().for_each(|v| *v = 0.0);
+        for qp in &quad {
+            let grads_ref = shape_gradients(mesh.dim, mesh.order, qp.xi);
+            let values = shape_values(mesh.dim, mesh.order, qp.xi);
+            // Jacobian J[r][c] = sum_k coords[conn[k]][r] * dN_k/dxi_c
+            let mut jac = [[0.0f64; 3]; 3];
+            for (k, &node) in conn.iter().enumerate() {
+                let x = mesh.coords[node];
+                for r in 0..dim {
+                    for c in 0..dim {
+                        jac[r][c] += x[r] * grads_ref[k * dim + c];
+                    }
+                }
+            }
+            let (jinv, detj) = invert_jacobian(&jac, dim);
+            let w = qp.weight * detj.abs();
+            // Physical gradients: dN_k/dx_r = sum_c dN_k/dxi_c * Jinv[c][r]
+            let mut grads = vec![0.0f64; npe * dim];
+            for k in 0..npe {
+                for r in 0..dim {
+                    let mut acc = 0.0;
+                    for c in 0..dim {
+                        acc += grads_ref[k * dim + c] * jinv[c][r];
+                    }
+                    grads[k * dim + r] = acc;
+                }
+            }
+            match physics {
+                Physics::HeatTransfer => {
+                    for a in 0..npe {
+                        for b in 0..npe {
+                            let mut acc = 0.0;
+                            for r in 0..dim {
+                                acc += grads[a * dim + r] * grads[b * dim + r];
+                            }
+                            ke[a * edofs + b] += w * acc;
+                        }
+                        fe[a] += w * values[a]; // unit volumetric heat source
+                    }
+                }
+                Physics::LinearElasticity => {
+                    let nstrain = if dim == 2 { 3 } else { 6 };
+                    // Strain-displacement matrix B (nstrain x edofs).
+                    let mut bmat = vec![0.0f64; nstrain * edofs];
+                    for k in 0..npe {
+                        let gx = grads[k * dim];
+                        let gy = grads[k * dim + 1];
+                        if dim == 2 {
+                            bmat[edofs + k * 2 + 1] = gy; // eps_yy
+                            bmat[k * 2] = gx; // eps_xx
+                            bmat[2 * edofs + k * 2] = gy; // gamma_xy
+                            bmat[2 * edofs + k * 2 + 1] = gx;
+                        } else {
+                            let gz = grads[k * dim + 2];
+                            bmat[k * 3] = gx; // eps_xx
+                            bmat[edofs + k * 3 + 1] = gy; // eps_yy
+                            bmat[2 * edofs + k * 3 + 2] = gz; // eps_zz
+                            bmat[3 * edofs + k * 3] = gy; // gamma_xy
+                            bmat[3 * edofs + k * 3 + 1] = gx;
+                            bmat[4 * edofs + k * 3 + 1] = gz; // gamma_yz
+                            bmat[4 * edofs + k * 3 + 2] = gy;
+                            bmat[5 * edofs + k * 3] = gz; // gamma_zx
+                            bmat[5 * edofs + k * 3 + 2] = gx;
+                        }
+                    }
+                    // Ke += w * B^T D B
+                    for a in 0..edofs {
+                        for s in 0..nstrain {
+                            if bmat[s * edofs + a] == 0.0 {
+                                continue;
+                            }
+                            let ba = bmat[s * edofs + a];
+                            for t in 0..nstrain {
+                                let dst = d_matrix[s * 6 + t];
+                                if dst == 0.0 {
+                                    continue;
+                                }
+                                let coeff = w * ba * dst;
+                                for b in 0..edofs {
+                                    ke[a * edofs + b] += coeff * bmat[t * edofs + b];
+                                }
+                            }
+                        }
+                        // Unit body force along the last axis.
+                        let node = a / dim;
+                        let comp = a % dim;
+                        if comp == dim - 1 {
+                            fe[a] -= w * values[node];
+                        }
+                    }
+                }
+            }
+        }
+        // Scatter the element matrix into the global triplets.
+        for (a_local, &na) in conn.iter().enumerate() {
+            for ca in 0..dofs_per_node {
+                let ga = na * dofs_per_node + ca;
+                let ea = a_local * dofs_per_node + ca;
+                load[ga] += fe[ea];
+                for (b_local, &nb) in conn.iter().enumerate() {
+                    for cb in 0..dofs_per_node {
+                        let gb = nb * dofs_per_node + cb;
+                        let eb = b_local * dofs_per_node + cb;
+                        let v = ke[ea * edofs + eb];
+                        if v != 0.0 {
+                            coo.push(ga, gb, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    AssembledSubdomain {
+        stiffness: coo.to_csr(),
+        load,
+        dofs_per_node,
+        num_nodes: mesh.num_nodes(),
+    }
+}
+
+/// Isotropic elasticity constitutive matrix, stored as a padded 6x6 row-major array
+/// (2D uses the top-left 3x3 plane-strain block).
+fn elasticity_d(dim: Dim) -> [f64; 36] {
+    let e = YOUNG_MODULUS;
+    let nu = POISSON_RATIO;
+    let mut d = [0.0f64; 36];
+    match dim {
+        Dim::Two => {
+            // Plane strain.
+            let c = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+            d[0] = c * (1.0 - nu);
+            d[1] = c * nu;
+            d[6] = c * nu;
+            d[7] = c * (1.0 - nu);
+            d[14] = c * (1.0 - 2.0 * nu) / 2.0;
+        }
+        Dim::Three => {
+            let c = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+            let g = e / (2.0 * (1.0 + nu));
+            for i in 0..3 {
+                for j in 0..3 {
+                    d[i * 6 + j] = if i == j { c * (1.0 - nu) } else { c * nu };
+                }
+                d[(i + 3) * 6 + (i + 3)] = g;
+            }
+        }
+    }
+    d
+}
+
+/// Inverts the dim x dim Jacobian and returns (inverse, determinant).
+fn invert_jacobian(j: &[[f64; 3]; 3], dim: usize) -> ([[f64; 3]; 3], f64) {
+    let mut inv = [[0.0f64; 3]; 3];
+    if dim == 2 {
+        let det = j[0][0] * j[1][1] - j[0][1] * j[1][0];
+        assert!(det.abs() > 1e-300, "degenerate element (zero Jacobian)");
+        inv[0][0] = j[1][1] / det;
+        inv[0][1] = -j[0][1] / det;
+        inv[1][0] = -j[1][0] / det;
+        inv[1][1] = j[0][0] / det;
+        (inv, det)
+    } else {
+        let det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+            - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+            + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+        assert!(det.abs() > 1e-300, "degenerate element (zero Jacobian)");
+        let c = |a: usize, b: usize, cc: usize, d: usize| j[a][b] * j[cc][d] - j[a][d] * j[cc][b];
+        inv[0][0] = c(1, 1, 2, 2) / det;
+        inv[0][1] = -c(0, 1, 2, 2) / det;
+        inv[0][2] = c(0, 1, 1, 2) / det;
+        inv[1][0] = -c(1, 0, 2, 2) / det;
+        inv[1][1] = c(0, 0, 2, 2) / det;
+        inv[1][2] = -c(0, 0, 1, 2) / det;
+        inv[2][0] = c(1, 0, 2, 1) / det;
+        inv[2][1] = -c(0, 0, 2, 1) / det;
+        inv[2][2] = c(0, 0, 1, 1) / det;
+        (inv, det)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, SubdomainSpec};
+    use crate::ElementOrder;
+    use feti_sparse::blas::norm2;
+    use feti_sparse::ops::spmv_csr;
+    use feti_sparse::Transpose;
+
+    fn mesh(dim: Dim, order: ElementOrder, nel: usize) -> StructuredMesh {
+        generate(&SubdomainSpec {
+            dim,
+            order,
+            elements_per_side: nel,
+            origin_elements: [0, 0, 0],
+            cell_size: 1.0 / nel as f64,
+        })
+    }
+
+    fn kernel_residual(sub: &AssembledSubdomain, mode: &[f64]) -> f64 {
+        let mut r = vec![0.0; sub.num_dofs()];
+        spmv_csr(1.0, &sub.stiffness, Transpose::No, mode, 0.0, &mut r);
+        norm2(&r)
+    }
+
+    #[test]
+    fn heat_stiffness_is_symmetric_with_constant_kernel() {
+        for dim in [Dim::Two, Dim::Three] {
+            for order in [ElementOrder::Linear, ElementOrder::Quadratic] {
+                let m = mesh(dim, order, 2);
+                let sub = assemble_subdomain(&m, Physics::HeatTransfer);
+                let k = &sub.stiffness;
+                // symmetry
+                for (i, j, v) in k.iter() {
+                    assert!((v - k.get(j, i)).abs() < 1e-10, "{dim:?} {order:?}");
+                }
+                // constant vector in the kernel (floating subdomain, pure Neumann)
+                let ones = vec![1.0; sub.num_dofs()];
+                assert!(
+                    kernel_residual(&sub, &ones) < 1e-10,
+                    "{dim:?} {order:?}: constants must be in the kernel"
+                );
+                // load = integral of source = volume of the domain (unit cube/square)
+                let total: f64 = sub.load.iter().sum();
+                assert!((total - 1.0).abs() < 1e-10, "{dim:?} {order:?}: load sum {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_stiffness_has_rigid_body_modes_in_kernel() {
+        for dim in [Dim::Two, Dim::Three] {
+            let m = mesh(dim, ElementOrder::Linear, 2);
+            let sub = assemble_subdomain(&m, Physics::LinearElasticity);
+            let d = dim.as_usize();
+            // translations
+            for comp in 0..d {
+                let mut mode = vec![0.0; sub.num_dofs()];
+                for n in 0..sub.num_nodes {
+                    mode[n * d + comp] = 1.0;
+                }
+                assert!(kernel_residual(&sub, &mode) < 1e-9, "{dim:?} translation {comp}");
+            }
+            // one in-plane rotation: u = (-y, x, 0)
+            let mut rot = vec![0.0; sub.num_dofs()];
+            for n in 0..sub.num_nodes {
+                let c = m.coords[n];
+                rot[n * d] = -c[1];
+                rot[n * d + 1] = c[0];
+            }
+            assert!(kernel_residual(&sub, &rot) < 1e-9, "{dim:?} rotation");
+        }
+    }
+
+    #[test]
+    fn heat_stiffness_matches_known_laplacian_energy() {
+        // For the unit square with u = x, the energy 0.5 u^T K u must be 0.5 * |grad|^2
+        // * area = 0.5.
+        let m = mesh(Dim::Two, ElementOrder::Quadratic, 3);
+        let sub = assemble_subdomain(&m, Physics::HeatTransfer);
+        let u: Vec<f64> = (0..sub.num_nodes).map(|n| m.coords[n][0]).collect();
+        let mut ku = vec![0.0; sub.num_dofs()];
+        spmv_csr(1.0, &sub.stiffness, Transpose::No, &u, 0.0, &mut ku);
+        let energy = 0.5 * feti_sparse::blas::dot(&u, &ku);
+        assert!((energy - 0.5).abs() < 1e-10, "energy = {energy}");
+    }
+
+    #[test]
+    fn elasticity_energy_of_uniform_extension_is_positive() {
+        let m = mesh(Dim::Three, ElementOrder::Linear, 2);
+        let sub = assemble_subdomain(&m, Physics::LinearElasticity);
+        let mut u = vec![0.0; sub.num_dofs()];
+        for n in 0..sub.num_nodes {
+            u[n * 3] = m.coords[n][0]; // uniform strain eps_xx = 1
+        }
+        let mut ku = vec![0.0; sub.num_dofs()];
+        spmv_csr(1.0, &sub.stiffness, Transpose::No, &u, 0.0, &mut ku);
+        let energy = 0.5 * feti_sparse::blas::dot(&u, &ku);
+        assert!(energy > 0.1, "uniform extension must store energy, got {energy}");
+    }
+
+    #[test]
+    fn stiffness_dimensions_match_physics() {
+        let m = mesh(Dim::Two, ElementOrder::Linear, 3);
+        let heat = assemble_subdomain(&m, Physics::HeatTransfer);
+        assert_eq!(heat.stiffness.nrows(), 16);
+        let elast = assemble_subdomain(&m, Physics::LinearElasticity);
+        assert_eq!(elast.stiffness.nrows(), 32);
+        assert_eq!(elast.num_dofs(), 32);
+    }
+}

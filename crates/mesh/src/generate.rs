@@ -1,0 +1,253 @@
+//! Structured subdomain mesh generation on a shared global lattice.
+//!
+//! Every subdomain of a decomposition is a box of `elements_per_side^dim` grid cells,
+//! each split into 2 triangles (2D) or 6 Kuhn tetrahedra (3D).  Nodes carry *global*
+//! integer lattice coordinates so that two subdomains sharing an interface agree on
+//! node identity without any floating point comparisons — this is what the gluing
+//! matrix construction in `feti-decompose` keys on.
+
+use crate::shape::{nodes_per_element, reference_offsets, simplices_per_cell};
+use crate::{Dim, ElementOrder};
+
+/// Description of one structured subdomain to generate.
+#[derive(Debug, Clone, Copy)]
+pub struct SubdomainSpec {
+    /// Spatial dimension.
+    pub dim: Dim,
+    /// Element order (linear or quadratic).
+    pub order: ElementOrder,
+    /// Number of grid cells along each edge of the subdomain.
+    pub elements_per_side: usize,
+    /// Position of the subdomain's first cell in the *global* element grid.
+    pub origin_elements: [usize; 3],
+    /// Physical edge length of one grid cell.
+    pub cell_size: f64,
+}
+
+/// A generated structured mesh (one subdomain).
+#[derive(Debug, Clone)]
+pub struct StructuredMesh {
+    /// Spatial dimension.
+    pub dim: Dim,
+    /// Element order.
+    pub order: ElementOrder,
+    /// Physical coordinates of each node.
+    pub coords: Vec<[f64; 3]>,
+    /// Global lattice coordinates of each node (scaled by the order's lattice factor).
+    pub lattice: Vec<[i64; 3]>,
+    /// Element connectivity (local node indices).
+    pub elements: Vec<Vec<usize>>,
+}
+
+impl StructuredMesh {
+    /// Number of nodes in the mesh.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of elements in the mesh.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Local indices of all nodes whose global lattice coordinate along `axis` equals
+    /// `value` (in lattice units).  Used to find Dirichlet boundary nodes.
+    #[must_use]
+    pub fn nodes_on_lattice_plane(&self, axis: usize, value: i64) -> Vec<usize> {
+        self.lattice
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l[axis] == value)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Generates the structured mesh described by `spec`.
+///
+/// # Panics
+/// Panics if `elements_per_side == 0`.
+#[must_use]
+pub fn generate(spec: &SubdomainSpec) -> StructuredMesh {
+    assert!(spec.elements_per_side > 0, "a subdomain needs at least one element per side");
+    let dim = spec.dim.as_usize();
+    let s = spec.order.lattice_scale() as i64;
+    let nel = spec.elements_per_side as i64;
+    let npl = (s * nel + 1) as usize; // nodes per line (local lattice)
+    let nz = if dim == 3 { npl } else { 1 };
+
+    // Node enumeration: k fastest? use (i, j, k) with i slowest for cache friendliness.
+    let node_index = |i: i64, j: i64, k: i64| -> usize {
+        (i as usize) * npl * nz + (j as usize) * nz + (k as usize)
+    };
+
+    let num_nodes = npl * npl * nz;
+    let mut coords = vec![[0.0f64; 3]; num_nodes];
+    let mut lattice = vec![[0i64; 3]; num_nodes];
+    let h_lattice = spec.cell_size / s as f64;
+    for i in 0..npl as i64 {
+        for j in 0..npl as i64 {
+            for k in 0..nz as i64 {
+                let idx = node_index(i, j, k);
+                let gl = [
+                    i + s * spec.origin_elements[0] as i64,
+                    j + s * spec.origin_elements[1] as i64,
+                    k + s * spec.origin_elements[2] as i64,
+                ];
+                lattice[idx] = gl;
+                coords[idx] = [
+                    gl[0] as f64 * h_lattice,
+                    gl[1] as f64 * h_lattice,
+                    gl[2] as f64 * h_lattice,
+                ];
+            }
+        }
+    }
+
+    let n_variants = simplices_per_cell(spec.dim);
+    let npe = nodes_per_element(spec.dim, spec.order);
+    let cells_z = if dim == 3 { nel } else { 1 };
+    let mut elements = Vec::with_capacity(
+        (nel as usize) * (nel as usize) * (cells_z as usize) * n_variants,
+    );
+    for ci in 0..nel {
+        for cj in 0..nel {
+            for ck in 0..cells_z {
+                let base = [s * ci, s * cj, s * ck];
+                for variant in 0..n_variants {
+                    let offsets = reference_offsets(spec.dim, spec.order, variant);
+                    debug_assert_eq!(offsets.len(), npe);
+                    let conn: Vec<usize> = offsets
+                        .iter()
+                        .map(|o| node_index(base[0] + o[0], base[1] + o[1], base[2] + o[2]))
+                        .collect();
+                    elements.push(conn);
+                }
+            }
+        }
+    }
+
+    StructuredMesh { dim: spec.dim, order: spec.order, coords, lattice, elements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(dim: Dim, order: ElementOrder, nel: usize) -> SubdomainSpec {
+        SubdomainSpec {
+            dim,
+            order,
+            elements_per_side: nel,
+            origin_elements: [0, 0, 0],
+            cell_size: 1.0,
+        }
+    }
+
+    #[test]
+    fn node_and_element_counts_2d() {
+        let m = generate(&spec(Dim::Two, ElementOrder::Linear, 4));
+        assert_eq!(m.num_nodes(), 25);
+        assert_eq!(m.num_elements(), 32);
+        let mq = generate(&spec(Dim::Two, ElementOrder::Quadratic, 4));
+        assert_eq!(mq.num_nodes(), 81);
+        assert_eq!(mq.num_elements(), 32);
+    }
+
+    #[test]
+    fn node_and_element_counts_3d() {
+        let m = generate(&spec(Dim::Three, ElementOrder::Linear, 3));
+        assert_eq!(m.num_nodes(), 64);
+        assert_eq!(m.num_elements(), 27 * 6);
+        let mq = generate(&spec(Dim::Three, ElementOrder::Quadratic, 2));
+        assert_eq!(mq.num_nodes(), 125);
+        assert_eq!(mq.num_elements(), 8 * 6);
+    }
+
+    #[test]
+    fn every_element_references_valid_distinct_nodes() {
+        for dim in [Dim::Two, Dim::Three] {
+            for order in [ElementOrder::Linear, ElementOrder::Quadratic] {
+                let m = generate(&spec(dim, order, 3));
+                for e in &m.elements {
+                    let mut sorted = e.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), e.len(), "duplicate node in element");
+                    for &n in e {
+                        assert!(n < m.num_nodes());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_offsets_respect_origin() {
+        let mut s = spec(Dim::Two, ElementOrder::Linear, 2);
+        s.origin_elements = [3, 5, 0];
+        let m = generate(&s);
+        let min_x = m.lattice.iter().map(|l| l[0]).min().unwrap();
+        let min_y = m.lattice.iter().map(|l| l[1]).min().unwrap();
+        assert_eq!(min_x, 3);
+        assert_eq!(min_y, 5);
+        // physical coordinates follow the lattice
+        assert!((m.coords[0][0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_lattice_is_doubled() {
+        let mut s = spec(Dim::Two, ElementOrder::Quadratic, 2);
+        s.origin_elements = [1, 0, 0];
+        let m = generate(&s);
+        let min_x = m.lattice.iter().map(|l| l[0]).min().unwrap();
+        let max_x = m.lattice.iter().map(|l| l[0]).max().unwrap();
+        assert_eq!(min_x, 2);
+        assert_eq!(max_x, 2 + 4);
+        // physical size of the subdomain is still nel * cell_size
+        let max_coord = m.coords.iter().map(|c| c[0]).fold(f64::MIN, f64::max);
+        assert!((max_coord - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_plane_lookup() {
+        let m = generate(&spec(Dim::Two, ElementOrder::Linear, 3));
+        let left = m.nodes_on_lattice_plane(0, 0);
+        assert_eq!(left.len(), 4);
+        for &n in &left {
+            assert_eq!(m.lattice[n][0], 0);
+        }
+    }
+
+    #[test]
+    fn two_adjacent_subdomains_share_interface_lattice_nodes() {
+        let a = generate(&SubdomainSpec {
+            dim: Dim::Two,
+            order: ElementOrder::Linear,
+            elements_per_side: 2,
+            origin_elements: [0, 0, 0],
+            cell_size: 0.5,
+        });
+        let b = generate(&SubdomainSpec {
+            dim: Dim::Two,
+            order: ElementOrder::Linear,
+            elements_per_side: 2,
+            origin_elements: [2, 0, 0],
+            cell_size: 0.5,
+        });
+        let right_of_a: std::collections::HashSet<[i64; 3]> = a
+            .nodes_on_lattice_plane(0, 2)
+            .into_iter()
+            .map(|i| a.lattice[i])
+            .collect();
+        let left_of_b: std::collections::HashSet<[i64; 3]> = b
+            .nodes_on_lattice_plane(0, 2)
+            .into_iter()
+            .map(|i| b.lattice[i])
+            .collect();
+        assert_eq!(right_of_a, left_of_b);
+        assert_eq!(right_of_a.len(), 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! Reference-element shape functions and quadrature rules.
+//!
+//! Supports P1/P2 triangles and P1/P2 tetrahedra.  The quadrature rules are exact for
+//! polynomials of degree 2, which is sufficient for the stiffness matrices of both
+//! element orders (P2 gradients are linear, so the integrand is quadratic).
+
+use crate::{Dim, ElementOrder};
+
+/// A quadrature point on the reference element: barycentric-free coordinates plus a
+/// weight that already includes the reference element measure.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadPoint {
+    /// Reference coordinates (ξ, η[, ζ]).
+    pub xi: [f64; 3],
+    /// Quadrature weight.
+    pub weight: f64,
+}
+
+/// Returns the quadrature rule (exact to degree 2) for the given dimension.
+#[must_use]
+pub fn quadrature(dim: Dim) -> Vec<QuadPoint> {
+    match dim {
+        Dim::Two => {
+            let w = 1.0 / 6.0;
+            vec![
+                QuadPoint { xi: [1.0 / 6.0, 1.0 / 6.0, 0.0], weight: w },
+                QuadPoint { xi: [2.0 / 3.0, 1.0 / 6.0, 0.0], weight: w },
+                QuadPoint { xi: [1.0 / 6.0, 2.0 / 3.0, 0.0], weight: w },
+            ]
+        }
+        Dim::Three => {
+            let a = 0.138_196_601_125_010_5;
+            let b = 0.585_410_196_624_968_5;
+            let w = 1.0 / 24.0;
+            vec![
+                QuadPoint { xi: [a, a, a], weight: w },
+                QuadPoint { xi: [b, a, a], weight: w },
+                QuadPoint { xi: [a, b, a], weight: w },
+                QuadPoint { xi: [a, a, b], weight: w },
+            ]
+        }
+    }
+}
+
+/// Number of nodes of the element type.
+#[must_use]
+pub fn nodes_per_element(dim: Dim, order: ElementOrder) -> usize {
+    match (dim, order) {
+        (Dim::Two, ElementOrder::Linear) => 3,
+        (Dim::Two, ElementOrder::Quadratic) => 6,
+        (Dim::Three, ElementOrder::Linear) => 4,
+        (Dim::Three, ElementOrder::Quadratic) => 10,
+    }
+}
+
+/// Evaluates the shape functions at a reference point.  Returns one value per node.
+#[must_use]
+pub fn shape_values(dim: Dim, order: ElementOrder, xi: [f64; 3]) -> Vec<f64> {
+    let (x, y, z) = (xi[0], xi[1], xi[2]);
+    match (dim, order) {
+        (Dim::Two, ElementOrder::Linear) => {
+            let l1 = 1.0 - x - y;
+            vec![l1, x, y]
+        }
+        (Dim::Two, ElementOrder::Quadratic) => {
+            let l1 = 1.0 - x - y;
+            let (l2, l3) = (x, y);
+            vec![
+                l1 * (2.0 * l1 - 1.0),
+                l2 * (2.0 * l2 - 1.0),
+                l3 * (2.0 * l3 - 1.0),
+                4.0 * l1 * l2,
+                4.0 * l2 * l3,
+                4.0 * l3 * l1,
+            ]
+        }
+        (Dim::Three, ElementOrder::Linear) => {
+            let l1 = 1.0 - x - y - z;
+            vec![l1, x, y, z]
+        }
+        (Dim::Three, ElementOrder::Quadratic) => {
+            let l1 = 1.0 - x - y - z;
+            let (l2, l3, l4) = (x, y, z);
+            vec![
+                l1 * (2.0 * l1 - 1.0),
+                l2 * (2.0 * l2 - 1.0),
+                l3 * (2.0 * l3 - 1.0),
+                l4 * (2.0 * l4 - 1.0),
+                4.0 * l1 * l2,
+                4.0 * l2 * l3,
+                4.0 * l3 * l1,
+                4.0 * l1 * l4,
+                4.0 * l2 * l4,
+                4.0 * l3 * l4,
+            ]
+        }
+    }
+}
+
+/// Evaluates the reference-space gradients of the shape functions at a reference point.
+/// Returns `nodes x dim` values as a flat vector (`grad[node * dim + d]`).
+#[must_use]
+pub fn shape_gradients(dim: Dim, order: ElementOrder, xi: [f64; 3]) -> Vec<f64> {
+    let (x, y, z) = (xi[0], xi[1], xi[2]);
+    match (dim, order) {
+        (Dim::Two, ElementOrder::Linear) => vec![-1.0, -1.0, 1.0, 0.0, 0.0, 1.0],
+        (Dim::Two, ElementOrder::Quadratic) => {
+            let l1 = 1.0 - x - y;
+            let (l2, l3) = (x, y);
+            // dL1 = (-1,-1), dL2 = (1,0), dL3 = (0,1)
+            let corner = |l: f64, dl: [f64; 2]| [(4.0 * l - 1.0) * dl[0], (4.0 * l - 1.0) * dl[1]];
+            let mid = |la: f64, dla: [f64; 2], lb: f64, dlb: [f64; 2]| {
+                [4.0 * (dla[0] * lb + la * dlb[0]), 4.0 * (dla[1] * lb + la * dlb[1])]
+            };
+            let d1 = [-1.0, -1.0];
+            let d2 = [1.0, 0.0];
+            let d3 = [0.0, 1.0];
+            let rows = [
+                corner(l1, d1),
+                corner(l2, d2),
+                corner(l3, d3),
+                mid(l1, d1, l2, d2),
+                mid(l2, d2, l3, d3),
+                mid(l3, d3, l1, d1),
+            ];
+            rows.iter().flat_map(|r| r.iter().copied()).collect()
+        }
+        (Dim::Three, ElementOrder::Linear) => vec![
+            -1.0, -1.0, -1.0, //
+            1.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.0, 0.0, 1.0,
+        ],
+        (Dim::Three, ElementOrder::Quadratic) => {
+            let l1 = 1.0 - x - y - z;
+            let (l2, l3, l4) = (x, y, z);
+            let d1 = [-1.0, -1.0, -1.0];
+            let d2 = [1.0, 0.0, 0.0];
+            let d3 = [0.0, 1.0, 0.0];
+            let d4 = [0.0, 0.0, 1.0];
+            let corner = |l: f64, dl: [f64; 3]| {
+                [(4.0 * l - 1.0) * dl[0], (4.0 * l - 1.0) * dl[1], (4.0 * l - 1.0) * dl[2]]
+            };
+            let mid = |la: f64, dla: [f64; 3], lb: f64, dlb: [f64; 3]| {
+                [
+                    4.0 * (dla[0] * lb + la * dlb[0]),
+                    4.0 * (dla[1] * lb + la * dlb[1]),
+                    4.0 * (dla[2] * lb + la * dlb[2]),
+                ]
+            };
+            let rows = [
+                corner(l1, d1),
+                corner(l2, d2),
+                corner(l3, d3),
+                corner(l4, d4),
+                mid(l1, d1, l2, d2),
+                mid(l2, d2, l3, d3),
+                mid(l3, d3, l1, d1),
+                mid(l1, d1, l4, d4),
+                mid(l2, d2, l4, d4),
+                mid(l3, d3, l4, d4),
+            ];
+            rows.iter().flat_map(|r| r.iter().copied()).collect()
+        }
+    }
+}
+
+/// The local connectivity of the reference element expressed as lattice offsets.
+///
+/// For an element whose "origin corner" sits at lattice position `p` (in the doubled
+/// lattice used by quadratic elements, or the plain lattice for linear elements), node
+/// `k` of the element sits at `p + offset[k] * scale`, where `scale` is 1 for quadratic
+/// and the offsets are given in half-edge units.  See [`crate::generate`].
+#[must_use]
+pub fn reference_offsets(dim: Dim, order: ElementOrder, variant: usize) -> Vec<[i64; 3]> {
+    // Corner offsets (in element-edge units) of the simplices that subdivide a cell.
+    let corners: Vec<[i64; 3]> = match dim {
+        Dim::Two => match variant {
+            // lower-left triangle and upper-right triangle of the unit square
+            0 => vec![[0, 0, 0], [1, 0, 0], [1, 1, 0]],
+            _ => vec![[0, 0, 0], [1, 1, 0], [0, 1, 0]],
+        },
+        Dim::Three => {
+            // Kuhn subdivision of the unit cube into 6 tetrahedra, all sharing the main
+            // diagonal (0,0,0)-(1,1,1).
+            let paths: [[usize; 3]; 6] = [
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
+            let p = paths[variant];
+            let mut pts = vec![[0i64, 0, 0]];
+            let mut cur = [0i64, 0, 0];
+            for &axis in &p {
+                cur[axis] += 1;
+                pts.push(cur);
+            }
+            pts
+        }
+    };
+    match order {
+        ElementOrder::Linear => corners,
+        ElementOrder::Quadratic => {
+            // Corners in doubled units, followed by the edge midpoints in the standard
+            // P2 node ordering used by `shape_values`.
+            let doubled: Vec<[i64; 3]> =
+                corners.iter().map(|c| [c[0] * 2, c[1] * 2, c[2] * 2]).collect();
+            let edges: Vec<(usize, usize)> = match dim {
+                Dim::Two => vec![(0, 1), (1, 2), (2, 0)],
+                Dim::Three => vec![(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)],
+            };
+            let mut out = doubled.clone();
+            for (a, b) in edges {
+                out.push([
+                    (doubled[a][0] + doubled[b][0]) / 2,
+                    (doubled[a][1] + doubled[b][1]) / 2,
+                    (doubled[a][2] + doubled[b][2]) / 2,
+                ]);
+            }
+            out
+        }
+    }
+}
+
+/// Number of simplices a grid cell is subdivided into (2 triangles or 6 tetrahedra).
+#[must_use]
+pub fn simplices_per_cell(dim: Dim) -> usize {
+    match dim {
+        Dim::Two => 2,
+        Dim::Three => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition_of_unity(dim: Dim, order: ElementOrder) {
+        for qp in quadrature(dim) {
+            let n = shape_values(dim, order, qp.xi);
+            let sum: f64 = n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{dim:?} {order:?}: sum = {sum}");
+            let g = shape_gradients(dim, order, qp.xi);
+            let d = dim.as_usize();
+            for comp in 0..d {
+                let gsum: f64 = (0..n.len()).map(|k| g[k * d + comp]).sum();
+                assert!(gsum.abs() < 1e-12, "{dim:?} {order:?}: gradient sum = {gsum}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_all_elements() {
+        for dim in [Dim::Two, Dim::Three] {
+            for order in [ElementOrder::Linear, ElementOrder::Quadratic] {
+                check_partition_of_unity(dim, order);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_integrates_constant_to_reference_measure() {
+        let area: f64 = quadrature(Dim::Two).iter().map(|q| q.weight).sum();
+        assert!((area - 0.5).abs() < 1e-12);
+        let vol: f64 = quadrature(Dim::Three).iter().map(|q| q.weight).sum();
+        assert!((vol - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrature_integrates_linear_exactly() {
+        // ∫ ξ over the reference triangle = 1/6; over the reference tetrahedron = 1/24.
+        let i2: f64 = quadrature(Dim::Two).iter().map(|q| q.weight * q.xi[0]).sum();
+        assert!((i2 - 1.0 / 6.0).abs() < 1e-12);
+        let i3: f64 = quadrature(Dim::Three).iter().map(|q| q.weight * q.xi[0]).sum();
+        assert!((i3 - 1.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_values_are_kronecker_at_nodes() {
+        // P2 triangle: nodes at corners and edge midpoints of the reference triangle.
+        let nodes = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.5, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.0, 0.5, 0.0],
+        ];
+        for (k, &xi) in nodes.iter().enumerate() {
+            let n = shape_values(Dim::Two, ElementOrder::Quadratic, xi);
+            for (j, &v) in n.iter().enumerate() {
+                let expected = if j == k { 1.0 } else { 0.0 };
+                assert!((v - expected).abs() < 1e-12, "node {k}, function {j}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let eps = 1e-6;
+        for dim in [Dim::Two, Dim::Three] {
+            for order in [ElementOrder::Linear, ElementOrder::Quadratic] {
+                let xi = [0.21, 0.13, if dim == Dim::Three { 0.17 } else { 0.0 }];
+                let d = dim.as_usize();
+                let g = shape_gradients(dim, order, xi);
+                for comp in 0..d {
+                    let mut xp = xi;
+                    xp[comp] += eps;
+                    let mut xm = xi;
+                    xm[comp] -= eps;
+                    let np = shape_values(dim, order, xp);
+                    let nm = shape_values(dim, order, xm);
+                    for k in 0..np.len() {
+                        let fd = (np[k] - nm[k]) / (2.0 * eps);
+                        assert!(
+                            (fd - g[k * d + comp]).abs() < 1e-6,
+                            "{dim:?} {order:?} node {k} comp {comp}: {fd} vs {}",
+                            g[k * d + comp]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_offsets_have_expected_counts() {
+        assert_eq!(reference_offsets(Dim::Two, ElementOrder::Linear, 0).len(), 3);
+        assert_eq!(reference_offsets(Dim::Two, ElementOrder::Quadratic, 1).len(), 6);
+        assert_eq!(reference_offsets(Dim::Three, ElementOrder::Linear, 3).len(), 4);
+        assert_eq!(reference_offsets(Dim::Three, ElementOrder::Quadratic, 5).len(), 10);
+        assert_eq!(simplices_per_cell(Dim::Two), 2);
+        assert_eq!(simplices_per_cell(Dim::Three), 6);
+    }
+
+    #[test]
+    fn kuhn_tetrahedra_have_positive_volume_and_tile_the_cube() {
+        let mut total = 0.0;
+        for variant in 0..6 {
+            let c = reference_offsets(Dim::Three, ElementOrder::Linear, variant);
+            let v = |i: usize| [c[i][0] as f64, c[i][1] as f64, c[i][2] as f64];
+            let (a, b, cc, d) = (v(0), v(1), v(2), v(3));
+            let ab = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+            let ac = [cc[0] - a[0], cc[1] - a[1], cc[2] - a[2]];
+            let ad = [d[0] - a[0], d[1] - a[1], d[2] - a[2]];
+            let det = ab[0] * (ac[1] * ad[2] - ac[2] * ad[1])
+                - ab[1] * (ac[0] * ad[2] - ac[2] * ad[0])
+                + ab[2] * (ac[0] * ad[1] - ac[1] * ad[0]);
+            assert!(det.abs() > 1e-12, "degenerate tetrahedron in variant {variant}");
+            total += det.abs() / 6.0;
+        }
+        assert!((total - 1.0).abs() < 1e-12, "tetrahedra must tile the unit cube");
+    }
+}

@@ -1,0 +1,200 @@
+//! Undirected adjacency graph extracted from a sparse matrix pattern.
+
+use feti_sparse::CsrMatrix;
+
+/// Symmetric adjacency structure (no self loops) of a sparse matrix pattern.
+#[derive(Debug, Clone)]
+pub struct AdjGraph {
+    /// `adj[i]` holds the neighbours of vertex `i`, sorted ascending.
+    adj: Vec<Vec<usize>>,
+}
+
+impl AdjGraph {
+    /// Builds the symmetrized adjacency graph of the pattern of `a` (self loops, i.e.
+    /// diagonal entries, are dropped).
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    #[must_use]
+    pub fn from_pattern(a: &CsrMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "adjacency graph requires a square matrix");
+        let n = a.nrows();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, j, _) in a.iter() {
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self { adj }
+    }
+
+    /// Builds a graph directly from adjacency lists (used in tests and by nested
+    /// dissection when recursing on subgraphs).
+    #[must_use]
+    pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Self {
+        Self { adj }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of vertex `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of vertex `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Finds a pseudo-peripheral vertex of the connected component containing `start`
+    /// by repeated BFS (the classic George–Liu heuristic).
+    #[must_use]
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let mut current = start;
+        let mut last_ecc = 0usize;
+        loop {
+            let (levels, ecc) = self.bfs_levels(current);
+            if ecc <= last_ecc {
+                return current;
+            }
+            last_ecc = ecc;
+            // pick a minimum-degree vertex in the last level
+            let far = levels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l == ecc)
+                .map(|(v, _)| v)
+                .min_by_key(|&v| self.degree(v))
+                .unwrap_or(current);
+            if far == current {
+                return current;
+            }
+            current = far;
+        }
+    }
+
+    /// BFS level structure rooted at `root` for the component containing it.
+    /// Returns `(levels, eccentricity)`, where unreachable vertices get `usize::MAX`.
+    #[must_use]
+    pub fn bfs_levels(&self, root: usize) -> (Vec<usize>, usize) {
+        let n = self.num_vertices();
+        let mut levels = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        levels[root] = 0;
+        queue.push_back(root);
+        let mut ecc = 0;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if levels[w] == usize::MAX {
+                    levels[w] = levels[v] + 1;
+                    ecc = ecc.max(levels[w]);
+                    queue.push_back(w);
+                }
+            }
+        }
+        (levels, ecc)
+    }
+
+    /// Returns the connected components as lists of vertices.
+    #[must_use]
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.num_vertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut components = Vec::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut members = vec![s];
+            comp[s] = id;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w] == usize::MAX {
+                        comp[w] = id;
+                        members.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            components.push(members);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_sparse::CooMatrix;
+
+    fn cycle(n: usize) -> AdjGraph {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+            coo.push(i, (i + 1) % n, 1.0);
+            coo.push((i + 1) % n, i, 1.0);
+        }
+        AdjGraph::from_pattern(&coo.to_csr())
+    }
+
+    #[test]
+    fn adjacency_from_pattern_is_symmetric_without_self_loops() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(2, 1, 1.0);
+        let g = AdjGraph::from_pattern(&coo.to_csr());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn bfs_levels_on_cycle() {
+        let g = cycle(6);
+        let (levels, ecc) = g.bfs_levels(0);
+        assert_eq!(ecc, 3);
+        assert_eq!(levels[3], 3);
+        assert_eq!(levels[5], 1);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path() {
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..4 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        let g = AdjGraph::from_pattern(&coo.to_csr());
+        let p = g.pseudo_peripheral(2);
+        assert!(p == 0 || p == 4, "expected an end of the path, got {p}");
+    }
+
+    #[test]
+    fn connected_components_found() {
+        // two disjoint edges: 0-1, 2-3
+        let adj = vec![vec![1], vec![0], vec![3], vec![2], vec![]];
+        let g = AdjGraph::from_adjacency(adj);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 5);
+    }
+}

@@ -1,0 +1,436 @@
+//! BLAS-like dense kernels operating on [`DenseMatrix`].
+//!
+//! These are the host-side equivalents of the cuBLAS routines used by the paper's
+//! explicit assembly (GEMM, GEMV, SYMV, SYRK, TRSM, TRSV).  The simulated GPU device in
+//! `feti-gpu` executes exactly these kernels and charges device time for them through
+//! its cost model.
+
+use crate::dense::DenseMatrix;
+use crate::{DiagKind, Result, SparseError, Transpose, Triangle};
+
+#[inline]
+fn op_dims(a: &DenseMatrix, trans: Transpose) -> (usize, usize) {
+    if trans.is_transposed() {
+        (a.ncols(), a.nrows())
+    } else {
+        (a.nrows(), a.ncols())
+    }
+}
+
+#[inline]
+fn op_get(a: &DenseMatrix, trans: Transpose, i: usize, j: usize) -> f64 {
+    if trans.is_transposed() {
+        a.get(j, i)
+    } else {
+        a.get(i, j)
+    }
+}
+
+/// General matrix-matrix multiplication: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm(
+    alpha: f64,
+    a: &DenseMatrix,
+    transa: Transpose,
+    b: &DenseMatrix,
+    transb: Transpose,
+    beta: f64,
+    c: &mut DenseMatrix,
+) {
+    let (m, k) = op_dims(a, transa);
+    let (kb, n) = op_dims(b, transb);
+    assert_eq!(k, kb, "gemm: inner dimensions do not match");
+    assert_eq!(c.nrows(), m, "gemm: C has wrong row count");
+    assert_eq!(c.ncols(), n, "gemm: C has wrong column count");
+
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += op_get(a, transa, i, p) * op_get(b, transb, p, j);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * old);
+        }
+    }
+}
+
+/// General matrix-vector multiplication: `y = alpha * op(A) * x + beta * y`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv(
+    alpha: f64,
+    a: &DenseMatrix,
+    trans: Transpose,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    let (m, k) = op_dims(a, trans);
+    assert_eq!(x.len(), k, "gemv: x has wrong length");
+    assert_eq!(y.len(), m, "gemv: y has wrong length");
+    for i in 0..m {
+        let mut acc = 0.0;
+        for p in 0..k {
+            acc += op_get(a, trans, i, p) * x[p];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// Symmetric matrix-vector multiplication: `y = alpha * A * x + beta * y`, where only
+/// the `uplo` triangle of `A` is referenced.
+///
+/// # Panics
+/// Panics on dimension mismatch or if `A` is not square.
+pub fn symv(uplo: Triangle, alpha: f64, a: &DenseMatrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "symv: A must be square");
+    assert_eq!(x.len(), n, "symv: x has wrong length");
+    assert_eq!(y.len(), n, "symv: y has wrong length");
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let v = match uplo {
+                Triangle::Upper => {
+                    if j >= i {
+                        a.get(i, j)
+                    } else {
+                        a.get(j, i)
+                    }
+                }
+                Triangle::Lower => {
+                    if j <= i {
+                        a.get(i, j)
+                    } else {
+                        a.get(j, i)
+                    }
+                }
+            };
+            tmp[i] += v * x[j];
+        }
+    }
+    for i in 0..n {
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+}
+
+/// Symmetric rank-k update: `C = alpha * op(A) * op(A)^T + beta * C`, updating only the
+/// `uplo` triangle of `C`.
+///
+/// With `trans == Transpose::No` this computes `A * A^T`; with `Transpose::Yes` it
+/// computes `A^T * A`.  This is the second kernel of the paper's SYRK assembly path.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn syrk(
+    uplo: Triangle,
+    trans: Transpose,
+    alpha: f64,
+    a: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+) {
+    let (n, k) = op_dims(a, trans);
+    assert_eq!(c.nrows(), n, "syrk: C has wrong row count");
+    assert_eq!(c.ncols(), n, "syrk: C has wrong column count");
+    for i in 0..n {
+        let range: Box<dyn Iterator<Item = usize>> = match uplo {
+            Triangle::Upper => Box::new(i..n),
+            Triangle::Lower => Box::new(0..=i),
+        };
+        for j in range {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += op_get(a, trans, i, p) * op_get(a, trans, j, p);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * old);
+        }
+    }
+}
+
+/// Triangular solve with a single right-hand side: solves `op(A) * x = b` where `A` is
+/// triangular.  `b` is overwritten with the solution.
+///
+/// # Errors
+/// Returns [`SparseError::SingularDiagonal`] if a diagonal entry is zero (and
+/// `diag == NonUnit`).
+pub fn trsv(
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    a: &DenseMatrix,
+    b: &mut [f64],
+) -> Result<()> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "trsv: A must be square");
+    assert_eq!(b.len(), n, "trsv: b has wrong length");
+
+    // op(A) lower-triangular  <=>  forward substitution.
+    let effective_lower = match (uplo, trans) {
+        (Triangle::Lower, Transpose::No) | (Triangle::Upper, Transpose::Yes) => true,
+        (Triangle::Upper, Transpose::No) | (Triangle::Lower, Transpose::Yes) => false,
+    };
+    let get = |i: usize, j: usize| op_get(a, trans, i, j);
+
+    if effective_lower {
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= get(i, j) * b[j];
+            }
+            b[i] = match diag {
+                DiagKind::Unit => acc,
+                DiagKind::NonUnit => {
+                    let d = get(i, i);
+                    if d == 0.0 {
+                        return Err(SparseError::SingularDiagonal { index: i });
+                    }
+                    acc / d
+                }
+            };
+        }
+    } else {
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in (i + 1)..n {
+                acc -= get(i, j) * b[j];
+            }
+            b[i] = match diag {
+                DiagKind::Unit => acc,
+                DiagKind::NonUnit => {
+                    let d = get(i, i);
+                    if d == 0.0 {
+                        return Err(SparseError::SingularDiagonal { index: i });
+                    }
+                    acc / d
+                }
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve with a dense right-hand-side matrix (left side):
+/// solves `op(A) * X = alpha * B`, overwriting `B` with `X`.
+///
+/// This is the dense TRSM used by the paper when factors are stored densely.
+///
+/// # Errors
+/// Returns [`SparseError::SingularDiagonal`] if a diagonal entry is zero (and
+/// `diag == NonUnit`).
+pub fn trsm(
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &mut DenseMatrix,
+) -> Result<()> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "trsm: A must be square");
+    assert_eq!(b.nrows(), n, "trsm: B has wrong row count");
+    let ncols = b.ncols();
+
+    if alpha != 1.0 {
+        for v in b.as_mut_slice() {
+            *v *= alpha;
+        }
+    }
+
+    // Column-by-column forward/backward substitution on B.
+    let mut col = vec![0.0; n];
+    for j in 0..ncols {
+        for i in 0..n {
+            col[i] = b.get(i, j);
+        }
+        trsv(uplo, trans, diag, a, &mut col)?;
+        for i in 0..n {
+            b.set(i, j, col[i]);
+        }
+    }
+    Ok(())
+}
+
+/// Scales a vector in place: `x *= alpha`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm of a vector.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryOrder;
+
+    fn m(rows: usize, cols: usize, v: &[f64], order: MemoryOrder) -> DenseMatrix {
+        DenseMatrix::from_row_slice(rows, cols, v, order)
+    }
+
+    #[test]
+    fn gemm_small_known_result() {
+        for oa in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            for ob in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+                let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], oa);
+                let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], ob);
+                let mut c = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+                gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+                assert_eq!(c.get(0, 0), 58.0);
+                assert_eq!(c.get(0, 1), 64.0);
+                assert_eq!(c.get(1, 0), 139.0);
+                assert_eq!(c.get(1, 1), 154.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_flags() {
+        let a = m(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0], MemoryOrder::RowMajor); // = A^T of above
+        let b = m(2, 3, &[7.0, 9.0, 11.0, 8.0, 10.0, 12.0], MemoryOrder::ColMajor);
+        let mut c = DenseMatrix::zeros(2, 2, MemoryOrder::ColMajor);
+        gemm(1.0, &a, Transpose::Yes, &b, Transpose::Yes, 0.0, &mut c);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = m(1, 1, &[2.0], MemoryOrder::RowMajor);
+        let b = m(1, 1, &[3.0], MemoryOrder::RowMajor);
+        let mut c = m(1, 1, &[10.0], MemoryOrder::RowMajor);
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+        assert_eq!(c.get(0, 0), 2.0 * 6.0 + 0.5 * 10.0);
+    }
+
+    #[test]
+    fn gemv_and_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], MemoryOrder::ColMajor);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        gemv(1.0, &a, Transpose::No, &x, 0.0, &mut y);
+        assert_eq!(y, vec![6.0, 15.0]);
+        let xt = [1.0, 1.0];
+        let mut yt = vec![0.0; 3];
+        gemv(1.0, &a, Transpose::Yes, &xt, 0.0, &mut yt);
+        assert_eq!(yt, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn symv_uses_single_triangle() {
+        // Full symmetric matrix [[2,1],[1,3]] but only the upper triangle stored.
+        let mut a = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 1, 3.0);
+        let x = [1.0, 2.0];
+        let mut y = vec![0.0; 2];
+        symv(Triangle::Upper, 1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], MemoryOrder::RowMajor);
+        let mut c_syrk = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+        syrk(Triangle::Upper, Transpose::Yes, 1.0, &a, 0.0, &mut c_syrk);
+        c_syrk.symmetrize_from(Triangle::Upper);
+        let mut c_gemm = DenseMatrix::zeros(2, 2, MemoryOrder::RowMajor);
+        gemm(1.0, &a, Transpose::Yes, &a, Transpose::No, 0.0, &mut c_gemm);
+        assert!(c_syrk.max_abs_diff(&c_gemm) < 1e-12);
+    }
+
+    #[test]
+    fn trsv_lower_and_upper() {
+        // A = [[2,0],[1,3]] lower triangular, solve A x = [2, 7] -> x = [1, 2]
+        let a = m(2, 2, &[2.0, 0.0, 1.0, 3.0], MemoryOrder::RowMajor);
+        let mut b = vec![2.0, 7.0];
+        trsv(Triangle::Lower, Transpose::No, DiagKind::NonUnit, &a, &mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-14);
+        assert!((b[1] - 2.0).abs() < 1e-14);
+
+        // A^T x = b uses the upper triangle of A^T; check against direct computation.
+        let mut b2 = vec![4.0, 6.0];
+        trsv(Triangle::Lower, Transpose::Yes, DiagKind::NonUnit, &a, &mut b2).unwrap();
+        // A^T = [[2,1],[0,3]]; backward substitution: x2 = 2, x1 = (4-2)/2 = 1
+        assert!((b2[0] - 1.0).abs() < 1e-14);
+        assert!((b2[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trsv_singular_detected() {
+        let a = m(2, 2, &[0.0, 0.0, 1.0, 3.0], MemoryOrder::RowMajor);
+        let mut b = vec![1.0, 1.0];
+        let err = trsv(Triangle::Lower, Transpose::No, DiagKind::NonUnit, &a, &mut b).unwrap_err();
+        assert_eq!(err, SparseError::SingularDiagonal { index: 0 });
+    }
+
+    #[test]
+    fn trsm_multi_rhs_matches_trsv() {
+        let a = m(3, 3, &[4.0, 0.0, 0.0, 1.0, 5.0, 0.0, 2.0, 3.0, 6.0], MemoryOrder::ColMajor);
+        let b_vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        for order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            let mut b = DenseMatrix::from_row_slice(3, 2, &b_vals, order);
+            trsm(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &a, &mut b).unwrap();
+            for j in 0..2 {
+                let mut col: Vec<f64> = (0..3).map(|i| b_vals[i * 2 + j]).collect();
+                trsv(Triangle::Lower, Transpose::No, DiagKind::NonUnit, &a, &mut col).unwrap();
+                for i in 0..3 {
+                    assert!((b.get(i, j) - col[i]).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 10.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-14);
+        let mut x = vec![1.0, -2.0];
+        scal(-2.0, &mut x);
+        assert_eq!(x, vec![-2.0, 4.0]);
+    }
+
+    #[test]
+    fn trsm_unit_diag_ignores_diagonal() {
+        let a = m(2, 2, &[100.0, 0.0, 1.0, 100.0], MemoryOrder::RowMajor);
+        let mut b = DenseMatrix::from_row_slice(2, 1, &[1.0, 3.0], MemoryOrder::ColMajor);
+        trsm(Triangle::Lower, Transpose::No, DiagKind::Unit, 1.0, &a, &mut b).unwrap();
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(b.get(1, 0), 2.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Coordinate-format (triplet) sparse matrix used as an assembly staging area.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// FEM assembly naturally produces unsorted triplets with duplicates (one contribution
+/// per element per DOF pair); [`CooMatrix::to_csr`] sorts and sums them.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows x ncols` triplet matrix.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with pre-reserved capacity for `nnz` entries.
+    #[must_use]
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends the triplet `(i, j, v)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows, "row index {i} out of bounds ({})", self.nrows);
+        assert!(j < self.ncols, "col index {j} out of bounds ({})", self.ncols);
+        self.rows.push(i);
+        self.cols.push(j);
+        self.values.push(v);
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Count entries per row.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr_tmp = counts.clone();
+        let nnz = self.values.len();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0f64; nnz];
+        let mut next = row_ptr_tmp.clone();
+        for k in 0..nnz {
+            let r = self.rows[k];
+            let pos = next[r];
+            col_idx[pos] = self.cols[k];
+            values[pos] = self.values[k];
+            next[r] += 1;
+        }
+        // Sort each row by column index, then compact duplicates.
+        let mut out_row_ptr = vec![0usize; self.nrows + 1];
+        let mut out_cols: Vec<usize> = Vec::with_capacity(nnz);
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz);
+        for r in 0..self.nrows {
+            let start = row_ptr_tmp[r];
+            let end = row_ptr_tmp[r + 1];
+            let mut entries: Vec<(usize, f64)> =
+                (start..end).map(|k| (col_idx[k], values[k])).collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for (c, v) in entries {
+                if c == last_col {
+                    let l = out_vals.len();
+                    out_vals[l - 1] += v;
+                } else {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                    last_col = c;
+                }
+            }
+            out_row_ptr[r + 1] = out_cols.len();
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, out_row_ptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(3, 4);
+        assert_eq!(coo.nnz(), 0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::with_capacity(2, 2, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 1, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(1, 1), 4.0);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let mut coo = CooMatrix::new(1, 5);
+        coo.push(0, 4, 4.0);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 3, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(0), &[1, 3, 4]);
+        assert_eq!(csr.row_values(0), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

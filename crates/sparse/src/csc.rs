@@ -1,0 +1,215 @@
+//! Compressed sparse column matrices.
+//!
+//! The paper's "factor order" parameter selects between handing the GPU triangular
+//! solve a CSR or a CSC factor; [`CscMatrix`] is the CSC side of that choice.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::MemoryOrder;
+
+/// A sparse matrix in compressed sparse column (CSC) format with sorted row indices
+/// within each column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the structure is inconsistent.
+    #[must_use]
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), ncols + 1, "col_ptr must have ncols + 1 entries");
+        assert_eq!(row_idx.len(), values.len(), "row_idx and values must have equal length");
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr must end at nnz");
+        for c in 0..ncols {
+            assert!(col_ptr[c] <= col_ptr[c + 1], "col_ptr must be non-decreasing");
+            let mut last = None;
+            for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
+                assert!(r < nrows, "row index {r} out of bounds ({nrows})");
+                if let Some(l) = last {
+                    assert!(r > l, "row indices within a column must be strictly increasing");
+                }
+                last = Some(r);
+            }
+        }
+        Self { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    /// Converts a CSR matrix to CSC.
+    #[must_use]
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        a.to_csc()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    #[must_use]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array (length `nnz`).
+    #[must_use]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array (length `nnz`).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array; the sparsity pattern cannot be changed through it.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Row indices of column `j`.
+    #[must_use]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    #[must_use]
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Returns entry `(i, j)` (zero if not stored).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.col_rows(j).binary_search(&i) {
+            Ok(k) => self.col_values(j)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to CSR.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        // CSR of A is obtained by interpreting the CSC arrays as the CSR of A^T and
+        // transposing.
+        let as_csr_of_t = CsrMatrix::from_raw_parts(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        );
+        as_csr_of_t.transposed()
+    }
+
+    /// Converts to a dense matrix with the requested memory order.
+    #[must_use]
+    pub fn to_dense(&self, order: MemoryOrder) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols, order);
+        for j in 0..self.ncols {
+            for (&i, &v) in self.col_rows(j).iter().zip(self.col_values(j)) {
+                d.set(i, j, v);
+            }
+        }
+        d
+    }
+
+    /// Approximate memory footprint in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+            + self.row_idx.len() * std::mem::size_of::<usize>()
+            + self.col_ptr.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 3, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.nnz(), 5);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(c.get(i, j), a.get(i, j), "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_conversion() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        let d1 = c.to_dense(MemoryOrder::RowMajor);
+        let d2 = a.to_dense(MemoryOrder::RowMajor);
+        assert_eq!(d1.max_abs_diff(&d2), 0.0);
+        assert!(c.bytes() > 0);
+    }
+
+    #[test]
+    fn column_accessors() {
+        let a = sample_csr();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.col_rows(0), &[0, 2]);
+        assert_eq!(c.col_values(0), &[1.0, 4.0]);
+        assert_eq!(c.col_rows(3), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn invalid_structure_rejected() {
+        let _ = CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Dense matrices with an explicit, runtime-selected memory order.
+//!
+//! The paper's explicit-assembly parameter space treats the memory order of factors and
+//! right-hand sides as tunable parameters (Table I), so [`DenseMatrix`] carries its
+//! [`MemoryOrder`] as data and every kernel in [`crate::blas`] honours it.
+
+use crate::MemoryOrder;
+
+/// A dense `f64` matrix with explicit row- or column-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    order: MemoryOrder,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `nrows x ncols` matrix of zeros in the given memory order.
+    #[must_use]
+    pub fn zeros(nrows: usize, ncols: usize, order: MemoryOrder) -> Self {
+        Self { nrows, ncols, order, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Creates an identity matrix of size `n` in the given memory order.
+    #[must_use]
+    pub fn identity(n: usize, order: MemoryOrder) -> Self {
+        let mut m = Self::zeros(n, n, order);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of `nrows * ncols` values, storing it in
+    /// the requested memory order.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != nrows * ncols`.
+    #[must_use]
+    pub fn from_row_slice(nrows: usize, ncols: usize, values: &[f64], order: MemoryOrder) -> Self {
+        assert_eq!(values.len(), nrows * ncols, "value slice has wrong length");
+        let mut m = Self::zeros(nrows, ncols, order);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m.set(i, j, values[i * ncols + j]);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Memory order of the underlying storage.
+    #[must_use]
+    pub fn order(&self) -> MemoryOrder {
+        self.order
+    }
+
+    /// Number of stored elements (`nrows * ncols`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw storage in the matrix's memory order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage in the matrix's memory order.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        match self.order {
+            MemoryOrder::RowMajor => i * self.ncols + j,
+            MemoryOrder::ColMajor => j * self.nrows + i,
+        }
+    }
+
+    /// Returns element `(i, j)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.offset(i, j)]
+    }
+
+    /// Sets element `(i, j)` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let o = self.offset(i, j);
+        self.data[o] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add_assign_at(&mut self, i: usize, j: usize, v: f64) {
+        let o = self.offset(i, j);
+        self.data[o] += v;
+    }
+
+    /// Fills the whole matrix with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Returns a copy of row `i` as a vector.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Returns a copy of column `j` as a vector.
+    #[must_use]
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.nrows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Converts the matrix to the requested memory order (no-op if already there).
+    #[must_use]
+    pub fn into_order(self, order: MemoryOrder) -> Self {
+        if self.order == order {
+            return self;
+        }
+        let mut out = Self::zeros(self.nrows, self.ncols, order);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(i, j, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix stored in the same memory order.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.ncols, self.nrows, self.order);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Reinterprets the storage as the transpose by flipping the memory order without
+    /// touching the data.  This is the zero-cost "logical transpose" used by the
+    /// assembly paths that tweak layout flags instead of physically transposing.
+    #[must_use]
+    pub fn transpose_reinterpret(self) -> Self {
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            order: self.order.flipped(),
+            data: self.data,
+        }
+    }
+
+    /// Mirrors the stored triangle onto the other one, producing a full symmetric
+    /// matrix.  `stored` names the triangle currently holding valid data.
+    pub fn symmetrize_from(&mut self, stored: crate::Triangle) {
+        assert_eq!(self.nrows, self.ncols, "symmetrize requires a square matrix");
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                match stored {
+                    crate::Triangle::Upper => {
+                        let v = self.get(i, j);
+                        self.set(j, i, v);
+                    }
+                    crate::Triangle::Lower => {
+                        let v = self.get(j, i);
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frobenius norm of the matrix.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute difference between two matrices of identical shape.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut m = 0.0f64;
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                m = m.max((self.get(i, j) - other.get(i, j)).abs());
+            }
+        }
+        m
+    }
+
+    /// Approximate memory footprint in bytes (storage only).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triangle;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DenseMatrix::zeros(2, 3, MemoryOrder::RowMajor);
+        assert_eq!(z.nrows(), 2);
+        assert_eq!(z.ncols(), 3);
+        assert_eq!(z.get(1, 2), 0.0);
+        let i = DenseMatrix::identity(3, MemoryOrder::ColMajor);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn get_set_respects_order() {
+        for order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            let mut m = DenseMatrix::zeros(3, 2, order);
+            m.set(2, 1, 5.0);
+            m.set(0, 1, -1.0);
+            assert_eq!(m.get(2, 1), 5.0);
+            assert_eq!(m.get(0, 1), -1.0);
+            assert_eq!(m.get(1, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn from_row_slice_matches_both_orders() {
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = DenseMatrix::from_row_slice(2, 3, &vals, MemoryOrder::RowMajor);
+        let c = DenseMatrix::from_row_slice(2, 3, &vals, MemoryOrder::ColMajor);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(r.get(i, j), vals[i * 3 + j]);
+                assert_eq!(c.get(i, j), vals[i * 3 + j]);
+            }
+        }
+        assert_ne!(r.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn into_order_preserves_values() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let m = DenseMatrix::from_row_slice(2, 2, &vals, MemoryOrder::RowMajor);
+        let c = m.clone().into_order(MemoryOrder::ColMajor);
+        assert_eq!(m.max_abs_diff(&c), 0.0);
+        assert_eq!(c.order(), MemoryOrder::ColMajor);
+    }
+
+    #[test]
+    fn transpose_physical_and_reinterpret_agree() {
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = DenseMatrix::from_row_slice(2, 3, &vals, MemoryOrder::RowMajor);
+        let t1 = m.transposed();
+        let t2 = m.clone().transpose_reinterpret();
+        assert_eq!(t1.nrows(), 3);
+        assert_eq!(t1.ncols(), 2);
+        assert_eq!(t1.max_abs_diff(&t2.into_order(MemoryOrder::RowMajor)), 0.0);
+    }
+
+    #[test]
+    fn symmetrize_copies_triangle() {
+        let vals = [1.0, 9.0, 9.0, 2.0, 4.0, 9.0, 3.0, 5.0, 6.0];
+        // lower triangle holds [1; 2 4; 3 5 6]
+        let mut m = DenseMatrix::from_row_slice(3, 3, &vals, MemoryOrder::RowMajor);
+        m.symmetrize_from(Triangle::Lower);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn rows_cols_and_norm() {
+        let m = DenseMatrix::from_row_slice(2, 2, &[3.0, 0.0, 0.0, 4.0], MemoryOrder::RowMajor);
+        assert_eq!(m.row(0), vec![3.0, 0.0]);
+        assert_eq!(m.col(1), vec![0.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.bytes(), 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_row_slice_wrong_len_panics() {
+        let _ = DenseMatrix::from_row_slice(2, 2, &[1.0, 2.0, 3.0], MemoryOrder::RowMajor);
+    }
+}

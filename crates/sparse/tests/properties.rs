@@ -1,0 +1,102 @@
+//! Property-based tests of the core sparse/dense data structures and kernels.
+
+use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, DenseMatrix, MemoryOrder, Transpose};
+use proptest::prelude::*;
+
+/// Strategy producing a random sparse matrix as (nrows, ncols, triplets).
+fn sparse_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        let triplets = proptest::collection::vec(
+            (0..r, 0..c, -5.0f64..5.0),
+            0..(r * c).min(40),
+        );
+        (Just(r), Just(c), triplets)
+    })
+}
+
+fn build(r: usize, c: usize, t: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(r, c);
+    for &(i, j, v) in t {
+        coo.push(i, j, v);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #[test]
+    fn csr_dense_roundtrip((r, c, t) in sparse_matrix()) {
+        let a = build(r, c, &t);
+        for order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            let d = a.to_dense(order);
+            let back = CsrMatrix::from_dense(&d, 0.0);
+            prop_assert_eq!(&back, &a);
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution((r, c, t) in sparse_matrix()) {
+        let a = build(r, c, &t);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn csr_and_csc_agree_entrywise((r, c, t) in sparse_matrix()) {
+        let a = build(r, c, &t);
+        let csc = a.to_csc();
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((a.get(i, j) - csc.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_gemv((r, c, t) in sparse_matrix(), seed in 0u64..1000) {
+        let a = build(r, c, &t);
+        let x: Vec<f64> = (0..c).map(|i| ((i as u64 + seed) % 7) as f64 - 3.0).collect();
+        let mut y_sparse = vec![0.0; r];
+        ops::spmv_csr(1.0, &a, Transpose::No, &x, 0.0, &mut y_sparse);
+        let d = a.to_dense(MemoryOrder::RowMajor);
+        let mut y_dense = vec![0.0; r];
+        blas::gemv(1.0, &d, Transpose::No, &x, 0.0, &mut y_dense);
+        for (s, dref) in y_sparse.iter().zip(&y_dense) {
+            prop_assert!((s - dref).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn coo_duplicates_sum((r, c, t) in sparse_matrix()) {
+        // Pushing the triplets twice must double the matrix.
+        let a = build(r, c, &t);
+        let mut coo = CooMatrix::new(r, c);
+        for &(i, j, v) in &t {
+            coo.push(i, j, v);
+            coo.push(i, j, v);
+        }
+        let doubled = coo.to_csr();
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((doubled.get(i, j) - 2.0 * a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_memory_order_is_transparent(rows in 1usize..8, cols in 1usize..8, seed in 0u64..100) {
+        let vals: Vec<f64> = (0..rows * cols).map(|i| ((i as u64 * 31 + seed) % 11) as f64).collect();
+        let rm = DenseMatrix::from_row_slice(rows, cols, &vals, MemoryOrder::RowMajor);
+        let cm = DenseMatrix::from_row_slice(rows, cols, &vals, MemoryOrder::ColMajor);
+        prop_assert!(rm.max_abs_diff(&cm) == 0.0);
+        prop_assert!(rm.transposed().max_abs_diff(&cm.clone().transpose_reinterpret().into_order(MemoryOrder::RowMajor).transposed().transposed()) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_is_associative_with_identity(rows in 1usize..6, cols in 1usize..6) {
+        let vals: Vec<f64> = (0..rows * cols).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let a = DenseMatrix::from_row_slice(rows, cols, &vals, MemoryOrder::RowMajor);
+        let id = DenseMatrix::identity(cols, MemoryOrder::ColMajor);
+        let mut c = DenseMatrix::zeros(rows, cols, MemoryOrder::RowMajor);
+        blas::gemm(1.0, &a, Transpose::No, &id, Transpose::No, 0.0, &mut c);
+        prop_assert!(c.max_abs_diff(&a) < 1e-12);
+    }
+}
