@@ -3,7 +3,9 @@
 //! triangular solves, the Schur complement and the FEM assembly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use feti_mesh::{assemble_subdomain, generate::generate, Dim, ElementOrder, Physics, SubdomainSpec};
+use feti_mesh::{
+    assemble_subdomain, generate::generate, Dim, ElementOrder, Physics, SubdomainSpec,
+};
 use feti_order::OrderingKind;
 use feti_solver::{CholeskyFactor, PardisoLike, SolverOptions};
 use std::hint::black_box;

@@ -26,13 +26,17 @@ fn main() {
                 (CudaGeneration::Legacy, DualOperatorApproach::ExplicitGpuLegacy),
                 (CudaGeneration::Modern, DualOperatorApproach::ExplicitGpuModern),
             ] {
-                let base =
-                    ExplicitAssemblyParams::auto_configure(generation, dim, problem.spec.dofs_per_subdomain());
+                let base = ExplicitAssemblyParams::auto_configure(
+                    generation,
+                    dim,
+                    problem.spec.dofs_per_subdomain(),
+                );
                 let syrk = ExplicitAssemblyParams { path: Path::Syrk, ..base };
                 let trsm = ExplicitAssemblyParams { path: Path::Trsm, ..base };
                 let m_syrk = measure_approach(&problem, approach, Some(syrk));
                 let m_trsm = measure_approach(&problem, approach, Some(trsm));
-                let speedup = m_trsm.preprocessing.total_seconds / m_syrk.preprocessing.total_seconds;
+                let speedup =
+                    m_trsm.preprocessing.total_seconds / m_syrk.preprocessing.total_seconds;
                 speedups.push((
                     format!(
                         "{dim:?}/{physics:?}/{:?}/{} dofs/{generation:?}",

@@ -27,11 +27,8 @@ fn main() {
         let mut cells = vec![problem.spec.dofs_per_subdomain().to_string()];
         for sg in [ScatterGather::Cpu, ScatterGather::Gpu] {
             let params = ExplicitAssemblyParams { scatter_gather: sg, ..base };
-            let m = measure_approach(
-                &problem,
-                DualOperatorApproach::ExplicitGpuLegacy,
-                Some(params),
-            );
+            let m =
+                measure_approach(&problem, DualOperatorApproach::ExplicitGpuLegacy, Some(params));
             cells.push(fmt_ms(m.apply_ms_per_subdomain()));
         }
         println!("{}", cells.join("\t"));

@@ -73,8 +73,7 @@ fn run_dim(dim: Dim, scale: BenchScale) {
                 .map(|m| m.total_ms_per_subdomain(iters))
                 .fold(f64::MAX, f64::min)
         };
-        let amortization =
-            (1..=20_000).find(|&it| explicit_gpu_total(it) < implicit_cpu_total(it));
+        let amortization = (1..=20_000).find(|&it| explicit_gpu_total(it) < implicit_cpu_total(it));
         match amortization {
             Some(it) => println!(
                 "# amortization point ({} DOFs/subdomain): explicit GPU wins after {it} iterations",

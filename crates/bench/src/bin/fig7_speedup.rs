@@ -31,10 +31,8 @@ fn run_dim(dim: Dim, scale: BenchScale) {
             .iter()
             .map(|&a| measure_approach(&problem, a, None))
             .collect();
-        let reference = measurements
-            .iter()
-            .find(|m| m.approach == DualOperatorApproach::ImplicitMkl)
-            .unwrap();
+        let reference =
+            measurements.iter().find(|m| m.approach == DualOperatorApproach::ImplicitMkl).unwrap();
         let mut row = vec![problem.spec.dofs_per_subdomain().to_string()];
         for &iters in &ITERATION_COUNTS {
             let best = measurements
@@ -50,7 +48,9 @@ fn run_dim(dim: Dim, scale: BenchScale) {
 
 fn main() {
     let scale = BenchScale::from_env();
-    println!("Fig. 7 reproduction — speedup relative to the implicit CPU approach (scale {scale:?})");
+    println!(
+        "Fig. 7 reproduction — speedup relative to the implicit CPU approach (scale {scale:?})"
+    );
     run_dim(Dim::Two, scale);
     run_dim(Dim::Three, scale);
 }

@@ -12,9 +12,7 @@
 
 #![warn(missing_docs)]
 
-use feti_core::{
-    build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, TimeBreakdown,
-};
+use feti_core::{build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, TimeBreakdown};
 use feti_decompose::{DecomposedProblem, DecompositionSpec};
 use feti_mesh::{Dim, ElementOrder, Physics};
 
@@ -181,8 +179,7 @@ mod tests {
 
     #[test]
     fn measurement_totals_accumulate_iterations() {
-        let problem =
-            build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 3);
+        let problem = build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 3);
         let m = measure_approach(&problem, DualOperatorApproach::ImplicitMkl, None);
         let t1 = m.total_ms_per_subdomain(1);
         let t100 = m.total_ms_per_subdomain(100);

@@ -63,7 +63,14 @@ impl ImplicitCpuOperator {
         let symbolic: Vec<CpuSymbolic> =
             blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
         let factors = blocks.iter().map(|_| None).collect();
-        Self { approach, blocks, num_lambdas, symbolic, factors, stats: DualOperatorStats::default() }
+        Self {
+            approach,
+            blocks,
+            num_lambdas,
+            symbolic,
+            factors,
+            stats: DualOperatorStats::default(),
+        }
     }
 }
 
@@ -151,7 +158,14 @@ impl ExplicitCpuOperator {
         let symbolic: Vec<CpuSymbolic> =
             blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
         let f_local = blocks.iter().map(|_| None).collect();
-        Self { approach, blocks, num_lambdas, symbolic, f_local, stats: DualOperatorStats::default() }
+        Self {
+            approach,
+            blocks,
+            num_lambdas,
+            symbolic,
+            f_local,
+            stats: DualOperatorStats::default(),
+        }
     }
 
     /// Assembles `F̃ᵢ` for one subdomain on the CPU (used also by the hybrid approach).

@@ -15,9 +15,7 @@ use feti_gpu::{blas as gblas, cost, CudaGeneration, GpuCost, GpuDevice};
 use feti_solver::cholmod::{CholmodFactor, CholmodLike};
 use feti_solver::pardiso::PardisoLike;
 use feti_solver::SolverOptions;
-use feti_sparse::{
-    DenseMatrix, DiagKind, MemoryOrder, Permutation, Transpose, Triangle,
-};
+use feti_sparse::{DenseMatrix, DiagKind, MemoryOrder, Permutation, Transpose, Triangle};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -97,11 +95,7 @@ impl DualOperator for ImplicitGpuOperator {
                 let (l_csc, perm) = factor.extract_factor();
                 let cpu = start.elapsed().as_secs_f64();
                 let transfer = cost::transfer(&spec, l_csc.nnz() * 12);
-                Ok((
-                    DeviceFactor { factor: SparseFactor::Csc(l_csc), perm },
-                    cpu,
-                    vec![transfer],
-                ))
+                Ok((DeviceFactor { factor: SparseFactor::Csc(l_csc), perm }, cpu, vec![transfer]))
             })
             .collect::<crate::Result<Vec<_>>>()?;
         let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
@@ -127,7 +121,15 @@ impl DualOperator for ImplicitGpuOperator {
             gpu_ops.push(cost::transfer(&spec, p_local.len() * 8));
             // t = B̃ᵀ p (device SpMV)
             let mut t = vec![0.0; block.num_dofs()];
-            gpu_ops.push(gsparse::spmv(&spec, 1.0, &block.b, Transpose::Yes, &p_local, 0.0, &mut t));
+            gpu_ops.push(gsparse::spmv(
+                &spec,
+                1.0,
+                &block.b,
+                Transpose::Yes,
+                &p_local,
+                0.0,
+                &mut t,
+            ));
             // x = K⁺ t through the permuted factor: L Lᵀ (P x) = P t
             let mut z = df.perm.apply(&t);
             gpu_ops.push(
@@ -205,54 +207,47 @@ fn assemble_local_on_gpu(
 
     // Forward solve: L X = P B̃ᵀ.
     let l_csr = l_csc.to_csr();
-    let solve =
-        |storage: FactorStorage,
-         order: MemoryOrder,
-         trans: Transpose,
-         x: &mut DenseMatrix,
-         gpu_ops: &mut Vec<GpuCost>|
-         -> crate::Result<Vec<feti_gpu::TempAlloc>> {
-            let mut guards = Vec::new();
-            match storage {
-                FactorStorage::Dense => {
-                    guards.push(device.alloc_temporary(n * n * 8)?);
-                    let (lf, c) = gsparse::sparse_to_dense(&spec, &l_csr, order);
-                    gpu_ops.push(c);
-                    gpu_ops.push(
-                        gblas::trsm(&spec, Triangle::Lower, trans, DiagKind::NonUnit, 1.0, &lf, x)
-                            .expect("factor is nonsingular"),
-                    );
-                }
-                FactorStorage::Sparse => {
-                    let sf = match order {
-                        MemoryOrder::RowMajor => SparseFactor::Csr(l_csr.clone()),
-                        MemoryOrder::ColMajor => SparseFactor::Csc(l_csc.clone()),
-                    };
-                    let ws = gsparse::sparse_trsm_workspace(
-                        generation,
-                        &sf,
-                        n,
-                        nl,
-                        params.rhs_order,
-                    );
-                    guards.push(device.alloc_temporary(ws.temporary_bytes)?);
-                    gpu_ops.push(
-                        gsparse::sparse_trsm(
-                            &spec,
-                            generation,
-                            Triangle::Lower,
-                            trans,
-                            DiagKind::NonUnit,
-                            1.0,
-                            &sf,
-                            x,
-                        )
+    let solve = |storage: FactorStorage,
+                 order: MemoryOrder,
+                 trans: Transpose,
+                 x: &mut DenseMatrix,
+                 gpu_ops: &mut Vec<GpuCost>|
+     -> crate::Result<Vec<feti_gpu::TempAlloc>> {
+        let mut guards = Vec::new();
+        match storage {
+            FactorStorage::Dense => {
+                guards.push(device.alloc_temporary(n * n * 8)?);
+                let (lf, c) = gsparse::sparse_to_dense(&spec, &l_csr, order);
+                gpu_ops.push(c);
+                gpu_ops.push(
+                    gblas::trsm(&spec, Triangle::Lower, trans, DiagKind::NonUnit, 1.0, &lf, x)
                         .expect("factor is nonsingular"),
-                    );
-                }
+                );
             }
-            Ok(guards)
-        };
+            FactorStorage::Sparse => {
+                let sf = match order {
+                    MemoryOrder::RowMajor => SparseFactor::Csr(l_csr.clone()),
+                    MemoryOrder::ColMajor => SparseFactor::Csc(l_csc.clone()),
+                };
+                let ws = gsparse::sparse_trsm_workspace(generation, &sf, n, nl, params.rhs_order);
+                guards.push(device.alloc_temporary(ws.temporary_bytes)?);
+                gpu_ops.push(
+                    gsparse::sparse_trsm(
+                        &spec,
+                        generation,
+                        Triangle::Lower,
+                        trans,
+                        DiagKind::NonUnit,
+                        1.0,
+                        &sf,
+                        x,
+                    )
+                    .expect("factor is nonsingular"),
+                );
+            }
+        }
+        Ok(guards)
+    };
 
     let _fwd_guards = solve(
         params.forward_factor_storage,
@@ -391,14 +386,8 @@ impl DualOperator for ExplicitGpuOperator {
     }
 
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
-        let breakdown = apply_explicit_on_gpu(
-            &self.device,
-            &self.params,
-            &self.blocks,
-            &self.f_local,
-            p,
-            q,
-        );
+        let breakdown =
+            apply_explicit_on_gpu(&self.device, &self.params, &self.blocks, &self.f_local, p, q);
         self.stats.total_apply = self.stats.total_apply.then(breakdown);
         self.stats.apply_count += 1;
         breakdown
@@ -538,14 +527,8 @@ impl DualOperator for HybridOperator {
     }
 
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
-        let breakdown = apply_explicit_on_gpu(
-            &self.device,
-            &self.params,
-            &self.blocks,
-            &self.f_local,
-            p,
-            q,
-        );
+        let breakdown =
+            apply_explicit_on_gpu(&self.device, &self.params, &self.blocks, &self.f_local, p, q);
         self.stats.total_apply = self.stats.total_apply.then(breakdown);
         self.stats.apply_count += 1;
         breakdown
@@ -639,8 +622,7 @@ mod tests {
         let (blocks, nl) = blocks();
         let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.11).sin()).collect();
         let q_ref = reference(&blocks, nl, &p);
-        let mut op =
-            HybridOperator::new(blocks, nl, ExplicitAssemblyParams::default()).unwrap();
+        let mut op = HybridOperator::new(blocks, nl, ExplicitAssemblyParams::default()).unwrap();
         let t = op.preprocess().unwrap();
         assert!(t.cpu_seconds > 0.0);
         let mut q = vec![0.0; nl];

@@ -132,12 +132,12 @@ pub fn build_dual_operator(
         )
     });
     match approach {
-        DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => Ok(Box::new(
-            cpu::ImplicitCpuOperator::new(approach, blocks, num_lambdas),
-        )),
-        DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => Ok(Box::new(
-            cpu::ExplicitCpuOperator::new(approach, blocks, num_lambdas),
-        )),
+        DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => {
+            Ok(Box::new(cpu::ImplicitCpuOperator::new(approach, blocks, num_lambdas)))
+        }
+        DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => {
+            Ok(Box::new(cpu::ExplicitCpuOperator::new(approach, blocks, num_lambdas)))
+        }
         DualOperatorApproach::ImplicitGpuLegacy | DualOperatorApproach::ImplicitGpuModern => {
             Ok(Box::new(gpu::ImplicitGpuOperator::new(approach, blocks, num_lambdas)?))
         }
@@ -149,11 +149,9 @@ pub fn build_dual_operator(
                 resolved_params,
             )?))
         }
-        DualOperatorApproach::ExplicitHybrid => Ok(Box::new(gpu::HybridOperator::new(
-            blocks,
-            num_lambdas,
-            resolved_params,
-        )?)),
+        DualOperatorApproach::ExplicitHybrid => {
+            Ok(Box::new(gpu::HybridOperator::new(blocks, num_lambdas, resolved_params)?))
+        }
     }
 }
 

@@ -52,7 +52,10 @@ impl std::fmt::Display for FetiError {
         match self {
             FetiError::Factorization(m) => write!(f, "factorization failed: {m}"),
             FetiError::NoConvergence { iterations, residual } => {
-                write!(f, "PCPG did not converge in {iterations} iterations (residual {residual:e})")
+                write!(
+                    f,
+                    "PCPG did not converge in {iterations} iterations (residual {residual:e})"
+                )
             }
             FetiError::DeviceMemory(m) => write!(f, "device memory error: {m}"),
         }
@@ -86,8 +89,7 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let e: FetiError = feti_solver::SolverError::SymbolicMissing.into();
         assert!(matches!(e, FetiError::Factorization(_)));
-        let e: FetiError =
-            feti_gpu::MemoryError::OutOfMemory { requested: 1, available: 0 }.into();
+        let e: FetiError = feti_gpu::MemoryError::OutOfMemory { requested: 1, available: 0 }.into();
         assert!(matches!(e, FetiError::DeviceMemory(_)));
     }
 }

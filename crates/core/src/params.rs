@@ -174,11 +174,7 @@ impl ExplicitAssemblyParams {
     /// The optimal configuration of Table II for the given CUDA generation, problem
     /// dimensionality and subdomain size (DOFs).
     #[must_use]
-    pub fn auto_configure(
-        generation: CudaGeneration,
-        dim: Dim,
-        dofs_per_subdomain: usize,
-    ) -> Self {
+    pub fn auto_configure(generation: CudaGeneration, dim: Dim, dofs_per_subdomain: usize) -> Self {
         match generation {
             CudaGeneration::Legacy => {
                 // Legacy CUDA: SYRK path; 2D factors stay sparse, 3D uses dense below
@@ -293,7 +289,8 @@ mod tests {
         assert_eq!(p.forward_factor_order, MemoryOrder::RowMajor);
         assert_eq!(p.path, Path::Syrk);
         // 3D legacy small: dense; large: sparse (crossover at ~12k DOFs).
-        let small = ExplicitAssemblyParams::auto_configure(CudaGeneration::Legacy, Dim::Three, 5_000);
+        let small =
+            ExplicitAssemblyParams::auto_configure(CudaGeneration::Legacy, Dim::Three, 5_000);
         assert_eq!(small.forward_factor_storage, FactorStorage::Dense);
         let large =
             ExplicitAssemblyParams::auto_configure(CudaGeneration::Legacy, Dim::Three, 20_000);

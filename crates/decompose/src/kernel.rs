@@ -3,7 +3,7 @@
 //!
 //! Every Total FETI subdomain floats, so `Kᵢ` is singular: its kernel is spanned by the
 //! constant function (heat transfer) or the rigid body modes (elasticity).  The paper
-//! regularizes `Kᵢ` analytically (ref. [11], "fixing nodes"): a penalty is added to a
+//! regularizes `Kᵢ` analytically (ref. \[11\], "fixing nodes"): a penalty is added to a
 //! carefully chosen set of DOFs — exactly `dim(ker Kᵢ)` of them, positioned so that the
 //! kernel restricted to these DOFs is nonsingular.  With that choice,
 //! `K⁺ᵢ v := K⁻¹ᵢ,reg v` acts as an exact generalized inverse on every consistent
@@ -235,7 +235,8 @@ mod tests {
     #[test]
     fn regularized_matrix_is_positive_definite_and_is_generalized_inverse() {
         use feti_solver::{CholeskyFactor, SolverOptions};
-        for (dim, physics) in [(Dim::Two, Physics::HeatTransfer), (Dim::Two, Physics::LinearElasticity)]
+        for (dim, physics) in
+            [(Dim::Two, Physics::HeatTransfer), (Dim::Two, Physics::LinearElasticity)]
         {
             let m = mesh(dim, 3);
             let asm = assemble_subdomain(&m, physics);

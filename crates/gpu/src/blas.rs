@@ -97,23 +97,10 @@ mod tests {
 
     #[test]
     fn trsm_result_matches_host_and_reports_cost() {
-        let a = DenseMatrix::from_row_slice(
-            2,
-            2,
-            &[2.0, 0.0, 1.0, 4.0],
-            MemoryOrder::ColMajor,
-        );
+        let a = DenseMatrix::from_row_slice(2, 2, &[2.0, 0.0, 1.0, 4.0], MemoryOrder::ColMajor);
         let mut b = DenseMatrix::from_row_slice(2, 1, &[2.0, 6.0], MemoryOrder::ColMajor);
-        let c = trsm(
-            &spec(),
-            Triangle::Lower,
-            Transpose::No,
-            DiagKind::NonUnit,
-            1.0,
-            &a,
-            &mut b,
-        )
-        .unwrap();
+        let c = trsm(&spec(), Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &a, &mut b)
+            .unwrap();
         assert!((b.get(0, 0) - 1.0).abs() < 1e-14);
         assert!((b.get(1, 0) - 1.25).abs() < 1e-14);
         assert!(c.seconds > 0.0);

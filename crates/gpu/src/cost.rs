@@ -77,7 +77,8 @@ impl GpuCost {
 }
 
 fn roofline(spec: &GpuSpec, bytes: f64, flops: f64) -> GpuCost {
-    let t = spec.kernel_launch_seconds + (bytes / spec.memory_bandwidth).max(flops / spec.flops_fp64);
+    let t =
+        spec.kernel_launch_seconds + (bytes / spec.memory_bandwidth).max(flops / spec.flops_fp64);
     GpuCost { seconds: t, bytes_moved: bytes, flops }
 }
 

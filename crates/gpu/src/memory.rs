@@ -33,7 +33,10 @@ impl std::fmt::Display for MemoryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemoryError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} bytes, {available} available")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {available} available"
+                )
             }
             MemoryError::LargerThanPool { requested, pool } => {
                 write!(f, "temporary request of {requested} bytes exceeds the pool of {pool} bytes")

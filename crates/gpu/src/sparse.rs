@@ -246,8 +246,7 @@ mod tests {
         let l = lower_factor(500);
         let factor = SparseFactor::Csr(l);
         let s = spec();
-        let mut b_leg =
-            DenseMatrix::zeros(500, 100, MemoryOrder::RowMajor);
+        let mut b_leg = DenseMatrix::zeros(500, 100, MemoryOrder::RowMajor);
         let mut b_mod = b_leg.clone();
         let c_leg = sparse_trsm(
             &s,
@@ -272,8 +271,10 @@ mod tests {
         )
         .unwrap();
         assert!(c_mod.seconds > c_leg.seconds);
-        let w_leg = sparse_trsm_workspace(CudaGeneration::Legacy, &factor, 500, 100, MemoryOrder::RowMajor);
-        let w_mod = sparse_trsm_workspace(CudaGeneration::Modern, &factor, 500, 100, MemoryOrder::RowMajor);
+        let w_leg =
+            sparse_trsm_workspace(CudaGeneration::Legacy, &factor, 500, 100, MemoryOrder::RowMajor);
+        let w_mod =
+            sparse_trsm_workspace(CudaGeneration::Modern, &factor, 500, 100, MemoryOrder::RowMajor);
         assert!(w_mod.persistent_bytes > w_leg.persistent_bytes);
     }
 
@@ -283,16 +284,22 @@ mod tests {
         let csr = SparseFactor::Csr(l.clone());
         let csc = SparseFactor::Csc(l.to_csc());
         // CSC factor needs roughly an extra factor-sized buffer.
-        let w_csr = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
-        let w_csc = sparse_trsm_workspace(CudaGeneration::Legacy, &csc, 200, 50, MemoryOrder::RowMajor);
+        let w_csr =
+            sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
+        let w_csc =
+            sparse_trsm_workspace(CudaGeneration::Legacy, &csc, 200, 50, MemoryOrder::RowMajor);
         assert!(w_csc.temporary_bytes >= w_csr.temporary_bytes + csr.bytes() / 2);
         // Column-major RHS needs roughly an extra RHS-sized buffer.
-        let w_rm = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
-        let w_cm = sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::ColMajor);
+        let w_rm =
+            sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::RowMajor);
+        let w_cm =
+            sparse_trsm_workspace(CudaGeneration::Legacy, &csr, 200, 50, MemoryOrder::ColMajor);
         assert_eq!(w_cm.temporary_bytes - w_rm.temporary_bytes, 200 * 50 * 8);
         // Modern workspace is layout independent.
-        let m1 = sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::RowMajor);
-        let m2 = sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::ColMajor);
+        let m1 =
+            sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::RowMajor);
+        let m2 =
+            sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::ColMajor);
         assert_eq!(m1.persistent_bytes, m2.persistent_bytes);
     }
 
@@ -316,7 +323,10 @@ mod tests {
         let a = lower_factor(6);
         let (d, c) = sparse_to_dense(&spec(), &a, MemoryOrder::ColMajor);
         assert!(c.seconds > 0.0);
-        assert!(d.max_abs_diff(&a.to_dense(MemoryOrder::RowMajor).into_order(MemoryOrder::ColMajor)) < 1e-14);
+        assert!(
+            d.max_abs_diff(&a.to_dense(MemoryOrder::RowMajor).into_order(MemoryOrder::ColMajor))
+                < 1e-14
+        );
     }
 
     #[test]

@@ -85,10 +85,7 @@ impl DeviceTimeline {
     /// synchronization point at `host_time`.
     #[must_use]
     pub fn synchronize(&self, host_time: f64) -> f64 {
-        self.streams
-            .iter()
-            .map(StreamTimeline::end_time)
-            .fold(host_time, f64::max)
+        self.streams.iter().map(StreamTimeline::end_time).fold(host_time, f64::max)
     }
 
     /// Sum of busy times across streams (useful to compute achieved concurrency).

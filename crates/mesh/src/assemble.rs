@@ -170,12 +170,7 @@ pub fn assemble_subdomain(mesh: &StructuredMesh, physics: Physics) -> AssembledS
         }
     }
 
-    AssembledSubdomain {
-        stiffness: coo.to_csr(),
-        load,
-        dofs_per_node,
-        num_nodes: mesh.num_nodes(),
-    }
+    AssembledSubdomain { stiffness: coo.to_csr(), load, dofs_per_node, num_nodes: mesh.num_nodes() }
 }
 
 /// Isotropic elasticity constitutive matrix, stored as a padded 6x6 row-major array

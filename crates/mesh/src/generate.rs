@@ -56,12 +56,7 @@ impl StructuredMesh {
     /// `value` (in lattice units).  Used to find Dirichlet boundary nodes.
     #[must_use]
     pub fn nodes_on_lattice_plane(&self, axis: usize, value: i64) -> Vec<usize> {
-        self.lattice
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l[axis] == value)
-            .map(|(i, _)| i)
-            .collect()
+        self.lattice.iter().enumerate().filter(|(_, l)| l[axis] == value).map(|(i, _)| i).collect()
     }
 }
 
@@ -97,11 +92,8 @@ pub fn generate(spec: &SubdomainSpec) -> StructuredMesh {
                     k + s * spec.origin_elements[2] as i64,
                 ];
                 lattice[idx] = gl;
-                coords[idx] = [
-                    gl[0] as f64 * h_lattice,
-                    gl[1] as f64 * h_lattice,
-                    gl[2] as f64 * h_lattice,
-                ];
+                coords[idx] =
+                    [gl[0] as f64 * h_lattice, gl[1] as f64 * h_lattice, gl[2] as f64 * h_lattice];
             }
         }
     }
@@ -109,9 +101,8 @@ pub fn generate(spec: &SubdomainSpec) -> StructuredMesh {
     let n_variants = simplices_per_cell(spec.dim);
     let npe = nodes_per_element(spec.dim, spec.order);
     let cells_z = if dim == 3 { nel } else { 1 };
-    let mut elements = Vec::with_capacity(
-        (nel as usize) * (nel as usize) * (cells_z as usize) * n_variants,
-    );
+    let mut elements =
+        Vec::with_capacity((nel as usize) * (nel as usize) * (cells_z as usize) * n_variants);
     for ci in 0..nel {
         for cj in 0..nel {
             for ck in 0..cells_z {
@@ -237,16 +228,10 @@ mod tests {
             origin_elements: [2, 0, 0],
             cell_size: 0.5,
         });
-        let right_of_a: std::collections::HashSet<[i64; 3]> = a
-            .nodes_on_lattice_plane(0, 2)
-            .into_iter()
-            .map(|i| a.lattice[i])
-            .collect();
-        let left_of_b: std::collections::HashSet<[i64; 3]> = b
-            .nodes_on_lattice_plane(0, 2)
-            .into_iter()
-            .map(|i| b.lattice[i])
-            .collect();
+        let right_of_a: std::collections::HashSet<[i64; 3]> =
+            a.nodes_on_lattice_plane(0, 2).into_iter().map(|i| a.lattice[i]).collect();
+        let left_of_b: std::collections::HashSet<[i64; 3]> =
+            b.nodes_on_lattice_plane(0, 2).into_iter().map(|i| b.lattice[i]).collect();
         assert_eq!(right_of_a, left_of_b);
         assert_eq!(right_of_a.len(), 3);
     }

@@ -183,14 +183,8 @@ pub fn reference_offsets(dim: Dim, order: ElementOrder, variant: usize) -> Vec<[
         Dim::Three => {
             // Kuhn subdivision of the unit cube into 6 tetrahedra, all sharing the main
             // diagonal (0,0,0)-(1,1,1).
-            let paths: [[usize; 3]; 6] = [
-                [0, 1, 2],
-                [0, 2, 1],
-                [1, 0, 2],
-                [1, 2, 0],
-                [2, 0, 1],
-                [2, 1, 0],
-            ];
+            let paths: [[usize; 3]; 6] =
+                [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
             let p = paths[variant];
             let mut pts = vec![[0i64, 0, 0]];
             let mut cur = [0i64, 0, 0];

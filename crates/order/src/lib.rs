@@ -46,7 +46,9 @@ pub fn compute_ordering(a: &CsrMatrix, kind: OrderingKind) -> Permutation {
     assert_eq!(a.nrows(), a.ncols(), "ordering requires a square matrix");
     match kind {
         OrderingKind::Natural => Permutation::identity(a.nrows()),
-        OrderingKind::ReverseCuthillMcKee => rcm::reverse_cuthill_mckee(&graph::AdjGraph::from_pattern(a)),
+        OrderingKind::ReverseCuthillMcKee => {
+            rcm::reverse_cuthill_mckee(&graph::AdjGraph::from_pattern(a))
+        }
         OrderingKind::MinimumDegree => mindeg::minimum_degree(&graph::AdjGraph::from_pattern(a)),
         OrderingKind::NestedDissection => nd::nested_dissection(&graph::AdjGraph::from_pattern(a)),
     }

@@ -15,9 +15,8 @@ use std::collections::{BinaryHeap, HashSet};
 #[must_use]
 pub fn minimum_degree(g: &AdjGraph) -> Permutation {
     let n = g.num_vertices();
-    let mut adj: Vec<HashSet<usize>> = (0..n)
-        .map(|v| g.neighbors(v).iter().copied().collect::<HashSet<usize>>())
-        .collect();
+    let mut adj: Vec<HashSet<usize>> =
+        (0..n).map(|v| g.neighbors(v).iter().copied().collect::<HashSet<usize>>()).collect();
     let mut eliminated = vec![false; n];
     let mut order = Vec::with_capacity(n);
 
@@ -130,11 +129,8 @@ mod tests {
             let mut fill = 0usize;
             // eliminate in new order
             for &v in p.new_to_old() {
-                let nbrs: Vec<usize> = adj[v]
-                    .iter()
-                    .copied()
-                    .filter(|&w| old_to_new[w] > old_to_new[v])
-                    .collect();
+                let nbrs: Vec<usize> =
+                    adj[v].iter().copied().filter(|&w| old_to_new[w] > old_to_new[v]).collect();
                 for i in 0..nbrs.len() {
                     for j in (i + 1)..nbrs.len() {
                         let (a, b) = (nbrs[i], nbrs[j]);

@@ -57,10 +57,7 @@ fn order_leaf(g: &AdjGraph, vertices: &[usize], order: &mut Vec<usize>) {
     let adj: Vec<Vec<usize>> = vertices
         .iter()
         .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .filter_map(|w| local_of.get(w).copied())
-                .collect::<Vec<usize>>()
+            g.neighbors(v).iter().filter_map(|w| local_of.get(w).copied()).collect::<Vec<usize>>()
         })
         .collect();
     let sub = AdjGraph::from_adjacency(adj);
@@ -81,18 +78,14 @@ fn bisect(g: &AdjGraph, vertices: &[usize]) -> Option<(Vec<usize>, Vec<usize>, V
     let adj: Vec<Vec<usize>> = vertices
         .iter()
         .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .filter_map(|w| local_of.get(w).copied())
-                .collect::<Vec<usize>>()
+            g.neighbors(v).iter().filter_map(|w| local_of.get(w).copied()).collect::<Vec<usize>>()
         })
         .collect();
     let sub = AdjGraph::from_adjacency(adj);
 
     // Work on the largest connected component; other components go entirely to "left".
     let comps = sub.connected_components();
-    let (largest_idx, _) =
-        comps.iter().enumerate().max_by_key(|(_, c)| c.len())?;
+    let (largest_idx, _) = comps.iter().enumerate().max_by_key(|(_, c)| c.len())?;
     let mut left: Vec<usize> = Vec::new();
     for (ci, comp) in comps.iter().enumerate() {
         if ci != largest_idx {

@@ -340,8 +340,8 @@ impl CholeskyFactor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use feti_sparse::CooMatrix;
     use feti_order::OrderingKind;
+    use feti_sparse::CooMatrix;
 
     /// 2D Laplacian on an `nx x ny` grid (SPD).
     fn laplacian2d(nx: usize, ny: usize) -> CsrMatrix {

@@ -66,7 +66,9 @@ impl std::fmt::Display for SolverError {
             SolverError::NotPositiveDefinite { index, pivot } => {
                 write!(f, "matrix is not positive definite at pivot {index} (value {pivot:e})")
             }
-            SolverError::SymbolicMissing => write!(f, "numeric factorization before symbolic analysis"),
+            SolverError::SymbolicMissing => {
+                write!(f, "numeric factorization before symbolic analysis")
+            }
             SolverError::PatternMismatch(msg) => write!(f, "pattern mismatch: {msg}"),
         }
     }

@@ -61,14 +61,7 @@ pub fn gemm(
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn gemv(
-    alpha: f64,
-    a: &DenseMatrix,
-    trans: Transpose,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
-) {
+pub fn gemv(alpha: f64, a: &DenseMatrix, trans: Transpose, x: &[f64], beta: f64, y: &mut [f64]) {
     let (m, k) = op_dims(a, trans);
     assert_eq!(x.len(), k, "gemv: x has wrong length");
     assert_eq!(y.len(), m, "gemv: y has wrong length");

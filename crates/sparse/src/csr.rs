@@ -49,13 +49,7 @@ impl CsrMatrix {
     /// Creates an empty (all-zero) matrix.
     #[must_use]
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self {
-            nrows,
-            ncols,
-            row_ptr: vec![0; nrows + 1],
-            col_idx: Vec::new(),
-            values: Vec::new(),
-        }
+        Self { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), values: Vec::new() }
     }
 
     /// Creates a sparse identity matrix of size `n`.
@@ -136,10 +130,7 @@ impl CsrMatrix {
     /// Iterates over all stored entries as `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |i| {
-            self.row_cols(i)
-                .iter()
-                .zip(self.row_values(i))
-                .map(move |(&j, &v)| (i, j, v))
+            self.row_cols(i).iter().zip(self.row_values(i)).map(move |(&j, &v)| (i, j, v))
         })
     }
 

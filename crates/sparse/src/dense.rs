@@ -169,12 +169,7 @@ impl DenseMatrix {
     /// assembly paths that tweak layout flags instead of physically transposing.
     #[must_use]
     pub fn transpose_reinterpret(self) -> Self {
-        Self {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            order: self.order.flipped(),
-            data: self.data,
-        }
+        Self { nrows: self.ncols, ncols: self.nrows, order: self.order.flipped(), data: self.data }
     }
 
     /// Mirrors the stored triangle onto the other one, producing a full symmetric

@@ -13,14 +13,7 @@ use crate::{DiagKind, Result, SparseError, Transpose, Triangle};
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn spmv_csr(
-    alpha: f64,
-    a: &CsrMatrix,
-    trans: Transpose,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
-) {
+pub fn spmv_csr(alpha: f64, a: &CsrMatrix, trans: Transpose, x: &[f64], beta: f64, y: &mut [f64]) {
     match trans {
         Transpose::No => {
             assert_eq!(x.len(), a.ncols(), "spmv: x has wrong length");
@@ -65,7 +58,8 @@ pub fn spmm_csr_dense(
     beta: f64,
     c: &mut DenseMatrix,
 ) {
-    let (m, k) = if trans.is_transposed() { (a.ncols(), a.nrows()) } else { (a.nrows(), a.ncols()) };
+    let (m, k) =
+        if trans.is_transposed() { (a.ncols(), a.nrows()) } else { (a.nrows(), a.ncols()) };
     assert_eq!(b.nrows(), k, "spmm: B has wrong row count");
     assert_eq!(c.nrows(), m, "spmm: C has wrong row count");
     assert_eq!(c.ncols(), b.ncols(), "spmm: C has wrong column count");
@@ -416,8 +410,7 @@ mod tests {
         let mut b1 = DenseMatrix::from_row_slice(3, 2, &b_vals, MemoryOrder::RowMajor);
         let mut b2 = DenseMatrix::from_row_slice(3, 2, &b_vals, MemoryOrder::ColMajor);
         sptrsm_csr(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &l, &mut b1).unwrap();
-        sptrsm_csc(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &lcsc, &mut b2)
-            .unwrap();
+        sptrsm_csc(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &lcsc, &mut b2).unwrap();
         assert!(b1.max_abs_diff(&b2) < 1e-13);
     }
 

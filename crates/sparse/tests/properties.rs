@@ -6,10 +6,7 @@ use proptest::prelude::*;
 /// Strategy producing a random sparse matrix as (nrows, ncols, triplets).
 fn sparse_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
-        let triplets = proptest::collection::vec(
-            (0..r, 0..c, -5.0f64..5.0),
-            0..(r * c).min(40),
-        );
+        let triplets = proptest::collection::vec((0..r, 0..c, -5.0f64..5.0), 0..(r * c).min(40));
         (Just(r), Just(c), triplets)
     })
 }

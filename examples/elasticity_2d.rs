@@ -49,10 +49,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "PCPG: {} iterations, residual {:.2e}",
-        solution.iterations, solution.final_residual
-    );
+    println!("PCPG: {} iterations, residual {:.2e}", solution.iterations, solution.final_residual);
     println!("largest downward displacement {min_uy:.4}, displacement at the free end {tip_uy:.4}");
     println!(
         "interface jump across subdomains: {:.2e}",

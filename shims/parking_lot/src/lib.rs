@@ -1,0 +1,117 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace shim wraps
+//! `std::sync` primitives behind parking_lot's poison-free API: `lock()` returns the
+//! guard directly and `Condvar::wait` takes the guard by `&mut` reference.  Poisoned
+//! locks are recovered transparently (parking_lot has no poisoning), which is safe
+//! here because all guarded state in this repo is plain bookkeeping integers.
+//! `DESIGN.md` (§ "Dependency shims") records this substitution.
+
+#![warn(missing_docs)]
+
+use std::sync::Mutex as StdMutex;
+
+/// A mutex whose `lock` never returns a poison error, mirroring `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)))
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` is only empty transiently inside [`Condvar::wait`], where the
+/// std guard must be moved out and back.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard is only vacated inside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard is only vacated inside Condvar::wait")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`], mirroring `parking_lot::Condvar`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Blocks the current thread until it is notified, releasing the guard's mutex
+    /// while waiting and reacquiring it before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard is only vacated inside Condvar::wait");
+        let inner = self.0.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Wakes one thread blocked in [`wait`](Self::wait).
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all threads blocked in [`wait`](Self::wait).
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_the_guard() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*state2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *state.0.lock() = true;
+        state.1.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this workspace shim provides
+//! the subset of proptest the repo's property tests use: range and tuple strategies,
+//! `Just`, `prop_map` / `prop_flat_map`, `collection::vec`, the `proptest!` macro and
+//! the `prop_assert*` macros.  Inputs are drawn from a deterministic xorshift
+//! generator seeded from the test name, so failures reproduce exactly on every run;
+//! unlike the real proptest there is no shrinking — a failing case panics with the
+//! ordinary assertion message.  `DESIGN.md` (§ "Dependency shims") records this
+//! substitution; the test sources compile unchanged against the real proptest.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The proptest prelude: everything the `proptest!` tests need in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic xorshift64* random generator used by the harness.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed non-zero seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for an empty bound.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random test inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy: Sized {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every produced value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Produces a value, builds a new strategy from it with `f`, and draws from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always produces a clone of one value, mirroring `proptest::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "invalid use of empty range strategy");
+                    let span = self.end.saturating_sub(self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` expands to an ordinary `#[test]`
+/// that draws the bound values from a deterministic generator and runs the body for
+/// every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( #[test] fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..20), &mut rng);
+            assert!((3..20).contains(&v));
+            let f = Strategy::generate(&(-5.0f64..5.0), &mut rng);
+            assert!((-5.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::deterministic("vec_respects_size_range");
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u64..10, 5..40), &mut rng);
+            assert!((5..40).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::deterministic("same-name");
+        let mut b = TestRng::deterministic("same-name");
+        let strat = (1usize..100, 0.0f64..1.0).prop_map(|(n, x)| n as f64 + x);
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((r, c) in (1usize..5, 1usize..5), seed in 0u64..10) {
+            prop_assert!(r < 5 && c < 5);
+            prop_assert_eq!(seed.min(9), seed);
+        }
+    }
+}

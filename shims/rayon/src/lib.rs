@@ -1,0 +1,71 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace shim provides
+//! the small slice of rayon's API the repo uses (`par_iter` on slices and vectors,
+//! combined with arbitrary `Iterator` adapters).  Execution is **sequential**: the
+//! "parallel" iterators are the ordinary `std` iterators, which keeps every numeric
+//! result bit-identical to a real rayon run while dropping only the host-side
+//! speedup.  `DESIGN.md` (§ "Host parallelism") records this substitution; swapping
+//! the real rayon back in requires only deleting this shim from the workspace.
+
+#![warn(missing_docs)]
+
+/// The rayon prelude: traits that put `par_iter` in scope.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types that can produce a "parallel" iterator over shared references.
+///
+/// Mirrors `rayon::iter::IntoParallelRefIterator`, but the returned iterator is the
+/// sequential `std::slice::Iter`, so every standard `Iterator` adapter (`map`, `zip`,
+/// `collect`, …) works unchanged.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type returned by [`par_iter`](Self::par_iter).
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type yielded by the iterator.
+    type Item: 'a;
+
+    /// Returns a (sequentially executing) parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let zipped: Vec<(i32, i32)> =
+            v.par_iter().zip(v.par_iter()).map(|(a, b)| (*a, a + b)).collect();
+        assert_eq!(zipped[3], (4, 8));
+    }
+
+    #[test]
+    fn par_iter_collects_results() {
+        let v = vec![1, 2, 3];
+        let ok: Result<Vec<i32>, ()> = v.par_iter().map(|x| Ok(*x)).collect();
+        assert_eq!(ok.unwrap(), v);
+    }
+}

@@ -32,9 +32,8 @@ fn amortization_point_is_finite_for_3d_problems() {
     let problem = build_problem(Dim::Three, Physics::HeatTransfer, ElementOrder::Quadratic, 3);
     let implicit = measure_approach(&problem, DualOperatorApproach::ImplicitMkl, None);
     let explicit = measure_approach(&problem, DualOperatorApproach::ExplicitGpuLegacy, None);
-    let amortization = (1..100_000).find(|&it| {
-        explicit.total_ms_per_subdomain(it) < implicit.total_ms_per_subdomain(it)
-    });
+    let amortization = (1..100_000)
+        .find(|&it| explicit.total_ms_per_subdomain(it) < implicit.total_ms_per_subdomain(it));
     assert!(
         amortization.is_some(),
         "the explicit GPU approach must eventually amortize its preprocessing"

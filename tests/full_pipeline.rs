@@ -121,12 +121,9 @@ fn dual_operator_is_symmetric_positive_semidefinite() {
     // F = B K+ B^T must be symmetric PSD on the dual space: check with random probes.
     let spec = DecompositionSpec::small_heat_2d();
     let problem = DecomposedProblem::build(&spec);
-    let mut op = feti_core::build_dual_operator(
-        DualOperatorApproach::ExplicitGpuModern,
-        &problem,
-        None,
-    )
-    .unwrap();
+    let mut op =
+        feti_core::build_dual_operator(DualOperatorApproach::ExplicitGpuModern, &problem, None)
+            .unwrap();
     op.preprocess().unwrap();
     let nl = problem.num_lambdas;
     let probes: Vec<Vec<f64>> = (0..4)
