@@ -1,0 +1,116 @@
+//! Validation of the cost-model planner against exhaustive measurement: for the
+//! problem sizes of Fig. 6, the planner picks an approach a priori (no execution) and
+//! this binary then *runs* every approach, reporting the measured best, the planner's
+//! pick and the ratio between them.
+//!
+//! The planner is considered validated when its pick stays within 2x of the measured
+//! optimum; the binary exits non-zero otherwise so it can serve as a gate.
+
+use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale, Measurement};
+use feti_core::planner::Planner;
+use feti_core::DualOperatorApproach;
+use feti_gpu::GpuSpec;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+const ITERATION_COUNTS: [usize; 3] = [10, 100, 1000];
+
+/// Measures one approach three times and keeps the fastest preprocessing and
+/// application phases, suppressing wall-clock noise (first-touch page faults,
+/// scheduler jitter) in the CPU-measured parts.
+fn measure_robust(
+    problem: &feti_decompose::DecomposedProblem,
+    approach: DualOperatorApproach,
+    params: Option<feti_core::ExplicitAssemblyParams>,
+) -> Measurement {
+    let mut best = measure_approach(problem, approach, params);
+    for _ in 0..2 {
+        let m = measure_approach(problem, approach, params);
+        if m.preprocessing.total_seconds < best.preprocessing.total_seconds {
+            best.preprocessing = m.preprocessing;
+        }
+        if m.apply.total_seconds < best.apply.total_seconds {
+            best.apply = m.apply;
+        }
+    }
+    best
+}
+
+fn measured_best(measurements: &[Measurement], iterations: usize) -> (&Measurement, f64) {
+    measurements
+        .iter()
+        .map(|m| (m, m.total_ms_per_subdomain(iterations)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+}
+
+fn run_dim(dim: Dim, scale: BenchScale, violations: &mut usize) {
+    let sweep = match dim {
+        Dim::Two => scale.sweep_2d(),
+        Dim::Three => scale.sweep_3d(),
+    };
+    let order = match dim {
+        Dim::Two => ElementOrder::Linear,
+        Dim::Three => ElementOrder::Quadratic,
+    };
+    let title = match dim {
+        Dim::Two => "Planner vs exhaustive — heat transfer 2D",
+        Dim::Three => "Planner vs exhaustive — heat transfer 3D",
+    };
+    print_header(
+        title,
+        &[
+            "dofs/subdomain",
+            "iterations",
+            "planned",
+            "est ms/sd",
+            "measured best",
+            "best ms/sd",
+            "planned measured ms/sd",
+            "ratio",
+        ],
+    );
+    for &nel in &sweep {
+        let problem = build_problem(dim, Physics::HeatTransfer, order, nel);
+        let planner = Planner::new(&problem, GpuSpec::a100_40gb());
+        let measurements: Vec<Measurement> = DualOperatorApproach::all()
+            .iter()
+            .map(|&a| measure_robust(&problem, a, None))
+            .collect();
+        for &iters in &ITERATION_COUNTS {
+            let plan = planner.plan(iters);
+            let pick = plan.best();
+            let pick_measured = measure_robust(&problem, pick.approach, Some(pick.params));
+            let (best, best_ms) = measured_best(&measurements, iters);
+            let pick_ms = pick_measured.total_ms_per_subdomain(iters);
+            let est_ms = pick.total_seconds(iters) * 1e3 / problem.subdomains.len() as f64;
+            let ratio = pick_ms / best_ms;
+            if ratio > 2.0 {
+                *violations += 1;
+            }
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}",
+                problem.spec.dofs_per_subdomain(),
+                iters,
+                pick.approach.label(),
+                fmt_ms(est_ms),
+                best.approach.label(),
+                fmt_ms(best_ms),
+                fmt_ms(pick_ms),
+                ratio
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Planner validation — a-priori pick vs exhaustive measurement (scale {scale:?})");
+    let mut violations = 0usize;
+    run_dim(Dim::Two, scale, &mut violations);
+    run_dim(Dim::Three, scale, &mut violations);
+    if violations > 0 {
+        println!("\n{violations} planned pick(s) exceeded 2x the measured optimum");
+        std::process::exit(1);
+    }
+    println!("\nall planned picks within 2x of the measured optimum");
+}

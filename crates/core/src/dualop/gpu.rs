@@ -11,7 +11,7 @@ use crate::params::{
 };
 use crate::schedule::{PhaseScheduler, TimeBreakdown};
 use feti_gpu::sparse::{self as gsparse, SparseFactor};
-use feti_gpu::{blas as gblas, cost, CudaGeneration, GpuCost, GpuDevice};
+use feti_gpu::{blas as gblas, cost, CudaGeneration, GpuCost, GpuDevice, GpuSpec};
 use feti_solver::cholmod::{CholmodFactor, CholmodLike};
 use feti_solver::pardiso::PardisoLike;
 use feti_solver::SolverOptions;
@@ -117,49 +117,16 @@ impl DualOperator for ImplicitGpuOperator {
         for (i, block) in self.blocks.iter().enumerate() {
             let df = self.factors[i].as_ref().expect("preprocess must be called before apply");
             let p_local = block.scatter(p);
-            let mut gpu_ops = Vec::new();
-            gpu_ops.push(cost::transfer(&spec, p_local.len() * 8));
-            // t = B̃ᵀ p (device SpMV)
-            let mut t = vec![0.0; block.num_dofs()];
-            gpu_ops.push(gsparse::spmv(
-                &spec,
-                1.0,
-                &block.b,
-                Transpose::Yes,
-                &p_local,
-                0.0,
-                &mut t,
-            ));
-            // x = K⁺ t through the permuted factor: L Lᵀ (P x) = P t
-            let mut z = df.perm.apply(&t);
-            gpu_ops.push(
-                gsparse::sparse_trsv(
-                    &spec,
-                    self.generation,
-                    Triangle::Lower,
-                    Transpose::No,
-                    DiagKind::NonUnit,
-                    &df.factor,
-                    &mut z,
-                )
-                .expect("factor is nonsingular"),
-            );
-            gpu_ops.push(
-                gsparse::sparse_trsv(
-                    &spec,
-                    self.generation,
-                    Triangle::Lower,
-                    Transpose::Yes,
-                    DiagKind::NonUnit,
-                    &df.factor,
-                    &mut z,
-                )
-                .expect("factor is nonsingular"),
-            );
-            let x = df.perm.apply_inverse(&z);
-            // q̃ = B̃ x (device SpMV) and copy back
             let mut q_local = vec![0.0; block.num_local_lambdas()];
-            gpu_ops.push(gsparse::spmv(&spec, 1.0, &block.b, Transpose::No, &x, 0.0, &mut q_local));
+            let mut gpu_ops = vec![cost::transfer(&spec, p_local.len() * 8)];
+            gpu_ops.extend(apply_implicit_column(
+                &spec,
+                self.generation,
+                block,
+                df,
+                &p_local,
+                &mut q_local,
+            ));
             gpu_ops.push(cost::transfer(&spec, q_local.len() * 8));
             block.gather(&q_local, q);
             scheduler.record_subdomain(i, 0.0, &gpu_ops);
@@ -170,9 +137,99 @@ impl DualOperator for ImplicitGpuOperator {
         breakdown
     }
 
+    fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
+        assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
+        assert_eq!(q.nrows(), self.num_lambdas, "batch row count must match dual space");
+        assert_eq!(p.ncols(), q.ncols(), "batch column mismatch");
+        let k = p.ncols();
+        q.fill(0.0);
+        let spec = *self.device.spec();
+        let generation = self.generation;
+        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        for (i, block) in self.blocks.iter().enumerate() {
+            let df = self.factors[i].as_ref().expect("preprocess must be called before apply");
+            let nl = block.num_local_lambdas();
+            // Exact per-column numerics through the same device kernels as `apply`
+            // (their per-column costs are discarded in favour of the batched ones).
+            for j in 0..k {
+                let p_local: Vec<f64> = block.lambda_map.iter().map(|&g| p.get(g, j)).collect();
+                let mut q_local = vec![0.0; nl];
+                let _ = apply_implicit_column(&spec, generation, block, df, &p_local, &mut q_local);
+                for (l, &g) in block.lambda_map.iter().enumerate() {
+                    q.add_assign_at(g, j, q_local[l]);
+                }
+            }
+            // Batched device submissions: one transfer per direction for the whole
+            // block of columns, SpMM instead of per-column SpMV, and a multi-RHS
+            // sparse TRSM whose level-schedule traffic amortizes over the batch.
+            let gpu_ops = [
+                cost::transfer(&spec, nl * k * 8),
+                cost::spmm(&spec, block.b.nnz(), block.b.nrows(), k),
+                cost::sparse_trsm_for(&spec, generation, df.factor.nnz(), df.factor.dim(), k),
+                cost::sparse_trsm_for(&spec, generation, df.factor.nnz(), df.factor.dim(), k),
+                cost::spmm(&spec, block.b.nnz(), block.b.nrows(), k),
+                cost::transfer(&spec, nl * k * 8),
+            ];
+            scheduler.record_subdomain(i, 0.0, &gpu_ops);
+        }
+        let breakdown = scheduler.finish();
+        self.stats.total_apply = self.stats.total_apply.then(breakdown);
+        self.stats.apply_count += k;
+        breakdown
+    }
+
     fn stats(&self) -> DualOperatorStats {
         self.stats
     }
+}
+
+/// One implicit application on a local dual vector: `q̃ = B̃ (K⁺ (B̃ᵀ p̃))` through the
+/// permuted factor, executed with the device kernels.  Shared by `apply` (which
+/// submits the returned per-column costs) and `apply_many` (which discards them in
+/// favour of the batched SpMM/multi-RHS-TRSM submissions), keeping the two paths
+/// numerically identical by construction.
+fn apply_implicit_column(
+    spec: &GpuSpec,
+    generation: CudaGeneration,
+    block: &SubdomainBlock,
+    df: &DeviceFactor,
+    p_local: &[f64],
+    q_local: &mut [f64],
+) -> Vec<GpuCost> {
+    let mut gpu_ops = Vec::with_capacity(4);
+    // t = B̃ᵀ p (device SpMV)
+    let mut t = vec![0.0; block.num_dofs()];
+    gpu_ops.push(gsparse::spmv(spec, 1.0, &block.b, Transpose::Yes, p_local, 0.0, &mut t));
+    // x = K⁺ t through the permuted factor: L Lᵀ (P x) = P t
+    let mut z = df.perm.apply(&t);
+    gpu_ops.push(
+        gsparse::sparse_trsv(
+            spec,
+            generation,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            &df.factor,
+            &mut z,
+        )
+        .expect("factor is nonsingular"),
+    );
+    gpu_ops.push(
+        gsparse::sparse_trsv(
+            spec,
+            generation,
+            Triangle::Lower,
+            Transpose::Yes,
+            DiagKind::NonUnit,
+            &df.factor,
+            &mut z,
+        )
+        .expect("factor is nonsingular"),
+    );
+    let x = df.perm.apply_inverse(&z);
+    // q̃ = B̃ x (device SpMV)
+    gpu_ops.push(gsparse::spmv(spec, 1.0, &block.b, Transpose::No, &x, 0.0, q_local));
+    gpu_ops
 }
 
 /// Assembles one dense local dual operator on the simulated device and returns it
@@ -393,6 +450,21 @@ impl DualOperator for ExplicitGpuOperator {
         breakdown
     }
 
+    fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
+        assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
+        let breakdown = apply_many_explicit_on_gpu(
+            &self.device,
+            &self.params,
+            &self.blocks,
+            &self.f_local,
+            p,
+            q,
+        );
+        self.stats.total_apply = self.stats.total_apply.then(breakdown);
+        self.stats.apply_count += p.ncols();
+        breakdown
+    }
+
     fn stats(&self) -> DualOperatorStats {
         self.stats
     }
@@ -440,6 +512,79 @@ fn apply_explicit_on_gpu(
             0,
             0.0,
             &[cost::scatter_gather(&spec, q.len()), cost::transfer(&spec, q.len() * 8)],
+        );
+    }
+    scheduler.finish()
+}
+
+/// Batched explicit GPU application shared by `expl legacy/modern` and `expl hybrid`:
+/// one SYMM-shaped kernel per subdomain streams the stored triangle of `F̃ᵢ` once for
+/// the whole batch, and the dual-vector transfers move the entire block of columns in
+/// one submission.
+///
+/// The numerics are the exact column-by-column SYMV (bit-for-bit identical to repeated
+/// [`apply_explicit_on_gpu`] calls); only the modelled device time is batched, and for
+/// `k` columns it never exceeds `k` single applications.
+fn apply_many_explicit_on_gpu(
+    device: &GpuDevice,
+    params: &ExplicitAssemblyParams,
+    blocks: &[SubdomainBlock],
+    f_local: &[Option<DenseMatrix>],
+    p: &DenseMatrix,
+    q: &mut DenseMatrix,
+) -> TimeBreakdown {
+    assert_eq!(p.nrows(), q.nrows(), "batch row mismatch");
+    assert_eq!(p.ncols(), q.ncols(), "batch column mismatch");
+    let k = p.ncols();
+    q.fill(0.0);
+    let spec = *device.spec();
+    let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+    if params.scatter_gather == ScatterGather::Gpu {
+        // One transfer of the cluster-wide dual block plus a scatter kernel.
+        scheduler.record_subdomain(
+            0,
+            0.0,
+            &[cost::transfer(&spec, p.nrows() * k * 8), cost::scatter_gather(&spec, p.nrows() * k)],
+        );
+    }
+    for (i, block) in blocks.iter().enumerate() {
+        let f = f_local[i].as_ref().expect("preprocess must be called before apply");
+        let nl = block.num_local_lambdas();
+        let mut p_local = DenseMatrix::zeros(nl, k, MemoryOrder::ColMajor);
+        for j in 0..k {
+            for (l, &g) in block.lambda_map.iter().enumerate() {
+                p_local.set(l, j, p.get(g, j));
+            }
+        }
+        let mut q_local = DenseMatrix::zeros(nl, k, MemoryOrder::ColMajor);
+        let mut gpu_ops = Vec::new();
+        if params.scatter_gather == ScatterGather::Cpu {
+            gpu_ops.push(cost::transfer(&spec, nl * k * 8));
+        }
+        gpu_ops.push(gblas::symm_multi(
+            &spec,
+            Triangle::Upper,
+            1.0,
+            f,
+            &p_local,
+            0.0,
+            &mut q_local,
+        ));
+        if params.scatter_gather == ScatterGather::Cpu {
+            gpu_ops.push(cost::transfer(&spec, nl * k * 8));
+        }
+        for j in 0..k {
+            for (l, &g) in block.lambda_map.iter().enumerate() {
+                q.add_assign_at(g, j, q_local.get(l, j));
+            }
+        }
+        scheduler.record_subdomain(i, 0.0, &gpu_ops);
+    }
+    if params.scatter_gather == ScatterGather::Gpu {
+        scheduler.record_subdomain(
+            0,
+            0.0,
+            &[cost::scatter_gather(&spec, q.nrows() * k), cost::transfer(&spec, q.nrows() * k * 8)],
         );
     }
     scheduler.finish()
@@ -531,6 +676,21 @@ impl DualOperator for HybridOperator {
             apply_explicit_on_gpu(&self.device, &self.params, &self.blocks, &self.f_local, p, q);
         self.stats.total_apply = self.stats.total_apply.then(breakdown);
         self.stats.apply_count += 1;
+        breakdown
+    }
+
+    fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
+        assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
+        let breakdown = apply_many_explicit_on_gpu(
+            &self.device,
+            &self.params,
+            &self.blocks,
+            &self.f_local,
+            p,
+            q,
+        );
+        self.stats.total_apply = self.stats.total_apply.then(breakdown);
+        self.stats.apply_count += p.ncols();
         breakdown
     }
 
@@ -629,6 +789,95 @@ mod tests {
         op.apply(&p, &mut q);
         for (a, b) in q.iter().zip(&q_ref) {
             assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn batched_apply_matches_columnwise_and_never_costs_more() {
+        let (blocks, nl) = blocks();
+        let k = 4;
+        let mut p = DenseMatrix::zeros(nl, k, MemoryOrder::ColMajor);
+        for j in 0..k {
+            for i in 0..nl {
+                p.set(i, j, ((i * 5 + j * 11) % 13) as f64 * 0.31 - 1.7);
+            }
+        }
+        let mut operators: Vec<(Box<dyn DualOperator>, Box<dyn DualOperator>)> = vec![
+            (
+                Box::new(
+                    ImplicitGpuOperator::new(
+                        DualOperatorApproach::ImplicitGpuLegacy,
+                        blocks.clone(),
+                        nl,
+                    )
+                    .unwrap(),
+                ),
+                Box::new(
+                    ImplicitGpuOperator::new(
+                        DualOperatorApproach::ImplicitGpuLegacy,
+                        blocks.clone(),
+                        nl,
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                Box::new(
+                    ExplicitGpuOperator::new(
+                        DualOperatorApproach::ExplicitGpuModern,
+                        blocks.clone(),
+                        nl,
+                        ExplicitAssemblyParams::default(),
+                    )
+                    .unwrap(),
+                ),
+                Box::new(
+                    ExplicitGpuOperator::new(
+                        DualOperatorApproach::ExplicitGpuModern,
+                        blocks.clone(),
+                        nl,
+                        ExplicitAssemblyParams::default(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                Box::new(
+                    HybridOperator::new(blocks.clone(), nl, ExplicitAssemblyParams::default())
+                        .unwrap(),
+                ),
+                Box::new(
+                    HybridOperator::new(blocks.clone(), nl, ExplicitAssemblyParams::default())
+                        .unwrap(),
+                ),
+            ),
+        ];
+        for (single, batched) in &mut operators {
+            let approach = single.approach();
+            single.preprocess().unwrap();
+            batched.preprocess().unwrap();
+            let mut q_batched = DenseMatrix::zeros(nl, k, MemoryOrder::ColMajor);
+            let batched_time = batched.apply_many(&p, &mut q_batched);
+            let mut singles_gpu = 0.0;
+            for j in 0..k {
+                let mut q = vec![0.0; nl];
+                let t = single.apply(&p.col(j), &mut q);
+                singles_gpu += t.gpu_seconds;
+                for (i, v) in q.iter().enumerate() {
+                    assert_eq!(
+                        *v,
+                        q_batched.get(i, j),
+                        "{approach:?} column {j} row {i} must match bit-for-bit"
+                    );
+                }
+            }
+            assert!(
+                batched_time.gpu_seconds <= singles_gpu + 1e-15,
+                "{approach:?}: batched modelled GPU time {} must not exceed {k} singles {}",
+                batched_time.gpu_seconds,
+                singles_gpu
+            );
+            assert_eq!(batched.stats().apply_count, k, "{approach:?} counts columns");
         }
     }
 

@@ -12,7 +12,7 @@ pub mod gpu;
 use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
 use crate::schedule::TimeBreakdown;
 use feti_decompose::DecomposedProblem;
-use feti_sparse::CsrMatrix;
+use feti_sparse::{CsrMatrix, DenseMatrix};
 
 /// Host threads (OpenMP threads in the paper) assumed by the phase scheduler.
 pub const NUM_THREADS: usize = 16;
@@ -50,6 +50,39 @@ pub trait DualOperator: Send {
     /// # Panics
     /// Panics if `preprocess` has not been called or vector lengths do not match.
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown;
+
+    /// Applies the dual operator to a batch of right-hand sides: `Q = F P`, one global
+    /// dual vector per column.
+    ///
+    /// The default implementation loops [`DualOperator::apply`] over the columns and is
+    /// bit-for-bit identical to repeated single applies.  Implementations that can
+    /// amortize memory traffic over the batch (the explicit approaches, whose dense
+    /// `F̃ᵢ` is streamed once per batch instead of once per column — a GEMM/SYMM-shaped
+    /// kernel instead of repeated GEMV/SYMV) override this with a batched path whose
+    /// modelled device time for `k` columns never exceeds `k` single applies.
+    ///
+    /// Statistics accounting: every column counts as one apply in
+    /// [`DualOperatorStats::apply_count`], so amortization bookkeeping stays comparable
+    /// between batched and unbatched runs.
+    ///
+    /// # Panics
+    /// Panics if `preprocess` has not been called, the row counts do not match the dual
+    /// space, or `p` and `q` have different shapes.
+    fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
+        assert_eq!(p.nrows(), self.num_lambdas(), "batch row count must match dual space");
+        assert_eq!(q.nrows(), self.num_lambdas(), "batch row count must match dual space");
+        assert_eq!(p.ncols(), q.ncols(), "input and output batches must have equal width");
+        let mut total = TimeBreakdown::default();
+        let mut q_col = vec![0.0; q.nrows()];
+        for j in 0..p.ncols() {
+            let p_col = p.col(j);
+            total = total.then(self.apply(&p_col, &mut q_col));
+            for (i, v) in q_col.iter().enumerate() {
+                q.set(i, j, *v);
+            }
+        }
+        total
+    }
 
     /// Statistics accumulated so far.
     fn stats(&self) -> DualOperatorStats;
@@ -198,6 +231,32 @@ mod tests {
             let op = build_dual_operator(approach, &problem, None).unwrap();
             assert_eq!(op.approach(), approach);
             assert_eq!(op.num_lambdas(), problem.num_lambdas);
+        }
+    }
+
+    #[test]
+    fn apply_many_counts_every_column_as_one_apply() {
+        // Regression test for the amortization accounting: a k-column batch must
+        // advance `apply_count` by k for every approach, batched or not, so that
+        // batched runs stay comparable to unbatched ones.
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let nl = problem.num_lambdas;
+        let k = 3;
+        let mut p = DenseMatrix::zeros(nl, k, feti_sparse::MemoryOrder::ColMajor);
+        for j in 0..k {
+            for i in 0..nl {
+                p.set(i, j, (i + j) as f64 * 0.1 - 0.5);
+            }
+        }
+        for approach in DualOperatorApproach::all() {
+            let mut op = build_dual_operator(approach, &problem, None).unwrap();
+            op.preprocess().unwrap();
+            let mut q = DenseMatrix::zeros(nl, k, feti_sparse::MemoryOrder::ColMajor);
+            op.apply_many(&p, &mut q);
+            assert_eq!(op.stats().apply_count, k, "{approach:?}");
+            let mut q1 = vec![0.0; nl];
+            op.apply(&p.col(0), &mut q1);
+            assert_eq!(op.stats().apply_count, k + 1, "{approach:?} after one more apply");
         }
     }
 }

@@ -4,11 +4,17 @@
 
 use crate::dualop::DualOperator;
 use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
+use crate::planner::Planner;
 use crate::schedule::TimeBreakdown;
 use crate::{FetiError, Result};
 use feti_decompose::DecomposedProblem;
+use feti_gpu::GpuSpec;
 use feti_solver::{CholeskyFactor, SolverOptions};
-use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, Transpose};
+use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, DenseMatrix, MemoryOrder, Transpose};
+
+/// One load case for [`TotalFetiSolver::solve_many`]: one load vector per subdomain,
+/// each of the subdomain's DOF length.
+pub type LoadCase = Vec<Vec<f64>>;
 
 /// Options of the PCPG iteration.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +50,9 @@ pub struct FetiSolution {
     pub final_residual: f64,
     /// Time spent in FETI preprocessing (dual-operator factorization / assembly).
     pub preprocessing_time: TimeBreakdown,
-    /// Accumulated time of all dual-operator applications during PCPG.
+    /// Accumulated time of all dual-operator applications during PCPG.  For a batched
+    /// [`TotalFetiSolver::solve_many`] run this is the load case's amortized share of
+    /// the batched applications.
     pub dual_apply_time: TimeBreakdown,
 }
 
@@ -57,7 +65,6 @@ pub struct TotalFetiSolver<'a> {
     recovery_factors: Vec<CholeskyFactor>,
     g: CsrMatrix,
     gtg_factor: CholeskyFactor,
-    e: Vec<f64>,
     kernel_dim: usize,
     options: PcpgOptions,
 }
@@ -75,6 +82,35 @@ impl<'a> TotalFetiSolver<'a> {
         options: PcpgOptions,
     ) -> Result<Self> {
         let dual_op = crate::dualop::build_dual_operator(approach, problem, params)?;
+        Self::from_parts(problem, dual_op, options)
+    }
+
+    /// Creates a solver whose dual-operator approach and explicit-assembly parameters
+    /// are chosen by the cost-model [`Planner`]: every approach × parameter
+    /// combination is estimated a priori on a device described by `gpu`, amortized
+    /// over `expected_iterations` PCPG iterations, and the cheapest feasible one is
+    /// constructed.
+    ///
+    /// # Errors
+    /// Returns an error if the planned operator cannot be constructed or a subdomain
+    /// factorization fails.
+    pub fn new_planned(
+        problem: &'a DecomposedProblem,
+        gpu: GpuSpec,
+        expected_iterations: usize,
+        options: PcpgOptions,
+    ) -> Result<Self> {
+        let plan = Planner::new(problem, gpu).plan(expected_iterations);
+        let dual_op = plan.build(problem)?;
+        Self::from_parts(problem, dual_op, options)
+    }
+
+    /// Shared constructor body: recovery factorizations and the coarse problem.
+    fn from_parts(
+        problem: &'a DecomposedProblem,
+        dual_op: Box<dyn DualOperator>,
+        options: PcpgOptions,
+    ) -> Result<Self> {
         let solver_opts = SolverOptions::default();
         let recovery_factors: Vec<CholeskyFactor> = problem
             .subdomains
@@ -82,12 +118,11 @@ impl<'a> TotalFetiSolver<'a> {
             .map(|sd| CholeskyFactor::new(&sd.k_reg, &solver_opts).map_err(FetiError::from))
             .collect::<Result<Vec<_>>>()?;
 
-        // Coarse space: G = B R (per subdomain columns), e = Rᵀ f.
+        // Coarse space: G = B R (per subdomain columns).
         let kernel_dim = problem.spec.physics.kernel_dim(problem.spec.dim);
         let num_lambdas = problem.num_lambdas;
         let ncols = kernel_dim * problem.subdomains.len();
         let mut g_coo = CooMatrix::new(num_lambdas, ncols);
-        let mut e = vec![0.0f64; ncols];
         for (s, sd) in problem.subdomains.iter().enumerate() {
             for c in 0..kernel_dim {
                 let r_col = sd.kernel.col(c);
@@ -99,7 +134,6 @@ impl<'a> TotalFetiSolver<'a> {
                         g_coo.push(sd.lambda_map[local], s * kernel_dim + c, v);
                     }
                 }
-                e[s * kernel_dim + c] = blas::dot(&r_col, &sd.assembled.load);
             }
         }
         let g = g_coo.to_csr();
@@ -107,7 +141,7 @@ impl<'a> TotalFetiSolver<'a> {
         let gtg_factor = CholeskyFactor::new(&gtg, &solver_opts)
             .map_err(|e| FetiError::Factorization(format!("coarse problem GᵀG: {e}")))?;
 
-        Ok(Self { problem, dual_op, recovery_factors, g, gtg_factor, e, kernel_dim, options })
+        Ok(Self { problem, dual_op, recovery_factors, g, gtg_factor, kernel_dim, options })
     }
 
     /// The dual-space dimension.
@@ -155,12 +189,14 @@ impl<'a> TotalFetiSolver<'a> {
         out
     }
 
-    /// Computes the dual right-hand side `d = B K⁺ f - c`.
+    /// Computes the dual right-hand side `d = B K⁺ f - c` for one load case.
     #[must_use]
-    fn dual_rhs(&self) -> Vec<f64> {
+    fn dual_rhs_for(&self, loads: &[Vec<f64>]) -> Vec<f64> {
         let mut d = vec![0.0; self.problem.num_lambdas];
-        for (sd, factor) in self.problem.subdomains.iter().zip(&self.recovery_factors) {
-            let x = factor.solve(&sd.assembled.load);
+        for ((sd, factor), f) in
+            self.problem.subdomains.iter().zip(&self.recovery_factors).zip(loads)
+        {
+            let x = factor.solve(f);
             let mut q_local = vec![0.0; sd.gluing.nrows()];
             ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &x, 0.0, &mut q_local);
             for (local, &g) in sd.lambda_map.iter().enumerate() {
@@ -173,81 +209,48 @@ impl<'a> TotalFetiSolver<'a> {
         d
     }
 
-    /// Runs FETI preprocessing and the PCPG iteration (Algorithm 1), then recovers the
-    /// primal solution.
-    ///
-    /// # Errors
-    /// Returns [`FetiError::NoConvergence`] if PCPG does not reach the tolerance.
-    pub fn solve(&mut self) -> Result<FetiSolution> {
-        let preprocessing_time = self.dual_op.preprocess()?;
+    /// Computes the kernel work `e = Rᵀ f` (stacked per subdomain) for one load case.
+    #[must_use]
+    fn kernel_work_for(&self, loads: &[Vec<f64>]) -> Vec<f64> {
+        let kd = self.kernel_dim;
+        let mut e = vec![0.0; kd * self.problem.subdomains.len()];
+        for (s, (sd, f)) in self.problem.subdomains.iter().zip(loads).enumerate() {
+            for c in 0..kd {
+                e[s * kd + c] = blas::dot(&sd.kernel.col(c), f);
+            }
+        }
+        e
+    }
+
+    /// Applies the dual operator to a batch of dual vectors through
+    /// [`DualOperator::apply_many`] and returns the result columns.
+    fn apply_batch(&mut self, cols: &[&Vec<f64>]) -> (Vec<Vec<f64>>, TimeBreakdown) {
         let nl = self.problem.num_lambdas;
-        let mut apply_time = TimeBreakdown::default();
-
-        let d = self.dual_rhs();
-
-        // λ0 = G (GᵀG)⁻¹ e  (so that Gᵀ λ0 = e).
-        let y0 = self.gtg_factor.solve(&self.e);
-        let mut lambda = vec![0.0; nl];
-        ops::spmv_csr(1.0, &self.g, Transpose::No, &y0, 0.0, &mut lambda);
-
-        // r0 = d - F λ0
-        let mut f_lambda = vec![0.0; nl];
-        apply_time = apply_time.then(self.dual_op.apply(&lambda, &mut f_lambda));
-        let mut r: Vec<f64> = d.iter().zip(&f_lambda).map(|(a, b)| a - b).collect();
-
-        let mut w = self.project(&r);
-        let w0_norm = blas::norm2(&w).max(f64::MIN_POSITIVE);
-        let mut y = self.project(&self.precondition(&w));
-        let mut p = y.clone();
-        let mut wy = blas::dot(&w, &y);
-        let mut iterations = 0usize;
-        let mut residual = 1.0;
-
-        for k in 0..self.options.max_iterations {
-            residual = blas::norm2(&w) / w0_norm;
-            if residual < self.options.tolerance {
-                break;
+        let m = cols.len();
+        let mut p = DenseMatrix::zeros(nl, m, MemoryOrder::ColMajor);
+        for (j, col) in cols.iter().enumerate() {
+            for (i, v) in col.iter().enumerate() {
+                p.set(i, j, *v);
             }
-            iterations = k + 1;
-            let mut q = vec![0.0; nl];
-            apply_time = apply_time.then(self.dual_op.apply(&p, &mut q));
-            let pq = blas::dot(&p, &q);
-            if pq.abs() < f64::MIN_POSITIVE {
-                break;
-            }
-            let delta = wy / pq;
-            blas::axpy(delta, &p, &mut lambda);
-            blas::axpy(-delta, &q, &mut r);
-            w = self.project(&r);
-            y = self.project(&self.precondition(&w));
-            let wy_new = blas::dot(&w, &y);
-            let beta = wy_new / wy;
-            wy = wy_new;
-            for (pi, yi) in p.iter_mut().zip(&y) {
-                *pi = yi + beta * *pi;
-            }
-            residual = blas::norm2(&w) / w0_norm;
         }
+        let mut q = DenseMatrix::zeros(nl, m, MemoryOrder::ColMajor);
+        let t = self.dual_op.apply_many(&p, &mut q);
+        ((0..m).map(|j| q.col(j)).collect(), t)
+    }
 
-        if residual >= self.options.tolerance && iterations >= self.options.max_iterations {
-            return Err(FetiError::NoConvergence { iterations, residual });
-        }
-
-        // α = (GᵀG)⁻¹ Gᵀ (F λ - d)
-        let mut f_lambda = vec![0.0; nl];
-        apply_time = apply_time.then(self.dual_op.apply(&lambda, &mut f_lambda));
-        let resid_dual: Vec<f64> = f_lambda.iter().zip(&d).map(|(a, b)| a - b).collect();
-        let mut gt_res = vec![0.0; self.g.ncols()];
-        ops::spmv_csr(1.0, &self.g, Transpose::Yes, &resid_dual, 0.0, &mut gt_res);
-        let alpha = self.gtg_factor.solve(&gt_res);
-
-        // u_i = K⁺ (f_i - B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ
-        let mut subdomain_solutions = Vec::with_capacity(self.problem.subdomains.len());
-        for (s, (sd, factor)) in
-            self.problem.subdomains.iter().zip(&self.recovery_factors).enumerate()
+    /// Recovers the per-subdomain primal solutions `uᵢ = K⁺(fᵢ - B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ`.
+    fn recover_subdomains(
+        &self,
+        lambda: &[f64],
+        alpha: &[f64],
+        loads: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.problem.subdomains.len());
+        for (s, ((sd, factor), f)) in
+            self.problem.subdomains.iter().zip(&self.recovery_factors).zip(loads).enumerate()
         {
             let lambda_local: Vec<f64> = sd.lambda_map.iter().map(|&g| lambda[g]).collect();
-            let mut rhs = sd.assembled.load.clone();
+            let mut rhs = f.clone();
             ops::spmv_csr(-1.0, &sd.gluing, Transpose::Yes, &lambda_local, 1.0, &mut rhs);
             let mut u = factor.solve(&rhs);
             for c in 0..self.kernel_dim {
@@ -255,20 +258,185 @@ impl<'a> TotalFetiSolver<'a> {
                 let r_col = sd.kernel.col(c);
                 blas::axpy(a, &r_col, &mut u);
             }
-            subdomain_solutions.push(u);
+            out.push(u);
         }
-        let global_solution = self.problem.gather_solution(&subdomain_solutions);
+        out
+    }
 
-        Ok(FetiSolution {
-            lambda,
-            alpha,
-            subdomain_solutions,
-            global_solution,
-            iterations,
-            final_residual: residual,
-            preprocessing_time,
-            dual_apply_time: apply_time,
-        })
+    /// Runs FETI preprocessing and the PCPG iteration (Algorithm 1), then recovers the
+    /// primal solution.
+    ///
+    /// # Errors
+    /// Returns [`FetiError::NoConvergence`] if PCPG does not reach the tolerance.
+    pub fn solve(&mut self) -> Result<FetiSolution> {
+        let baseline: LoadCase =
+            self.problem.subdomains.iter().map(|sd| sd.assembled.load.clone()).collect();
+        let mut solutions = self.solve_many(std::slice::from_ref(&baseline))?;
+        Ok(solutions.pop().expect("one load case yields one solution"))
+    }
+
+    /// Solves the problem for several load cases at once: FETI preprocessing runs
+    /// once, and each PCPG iteration applies the dual operator to the whole block of
+    /// still-unconverged search directions through [`DualOperator::apply_many`] — the
+    /// dense GEMM-shaped batched path that amortizes the memory traffic of the
+    /// explicit operators over the batch.
+    ///
+    /// Each load case iterates exactly as it would through [`TotalFetiSolver::solve`]
+    /// (the batching changes the modelled time, not the numerics); cases leave the
+    /// batch individually as they converge.
+    ///
+    /// # Errors
+    /// Returns [`FetiError::NoConvergence`] if any load case fails to reach the
+    /// tolerance within the iteration limit.
+    ///
+    /// # Panics
+    /// Panics if a load case does not provide one load vector of the right length per
+    /// subdomain.
+    pub fn solve_many(&mut self, loads: &[LoadCase]) -> Result<Vec<FetiSolution>> {
+        let ncases = loads.len();
+        if ncases == 0 {
+            return Ok(Vec::new());
+        }
+        for case in loads {
+            assert_eq!(case.len(), self.problem.subdomains.len(), "one load vector per subdomain");
+            for (sd, f) in self.problem.subdomains.iter().zip(case) {
+                assert_eq!(f.len(), sd.num_dofs(), "load vector length must match DOFs");
+            }
+        }
+        let preprocessing_time = self.dual_op.preprocess()?;
+        let nl = self.problem.num_lambdas;
+        let mut apply_time = TimeBreakdown::default();
+
+        struct CaseState {
+            d: Vec<f64>,
+            lambda: Vec<f64>,
+            r: Vec<f64>,
+            w: Vec<f64>,
+            y: Vec<f64>,
+            p: Vec<f64>,
+            wy: f64,
+            w0_norm: f64,
+            iterations: usize,
+            residual: f64,
+            halted: bool,
+        }
+
+        // λ0 = G (GᵀG)⁻¹ e per case (so that Gᵀ λ0 = e), then r0 = d - F λ0 through
+        // one batched application.
+        let lambdas0: Vec<Vec<f64>> = loads
+            .iter()
+            .map(|case| {
+                let e = self.kernel_work_for(case);
+                let y0 = self.gtg_factor.solve(&e);
+                let mut lambda = vec![0.0; nl];
+                ops::spmv_csr(1.0, &self.g, Transpose::No, &y0, 0.0, &mut lambda);
+                lambda
+            })
+            .collect();
+        let (f_lambda0, t0) = self.apply_batch(&lambdas0.iter().collect::<Vec<_>>());
+        apply_time = apply_time.then(t0);
+
+        let mut states: Vec<CaseState> = Vec::with_capacity(ncases);
+        for ((case, lambda), f_lambda) in loads.iter().zip(lambdas0).zip(&f_lambda0) {
+            let d = self.dual_rhs_for(case);
+            let r: Vec<f64> = d.iter().zip(f_lambda).map(|(a, b)| a - b).collect();
+            let w = self.project(&r);
+            let w0_norm = blas::norm2(&w).max(f64::MIN_POSITIVE);
+            let y = self.project(&self.precondition(&w));
+            let p = y.clone();
+            let wy = blas::dot(&w, &y);
+            states.push(CaseState {
+                d,
+                lambda,
+                r,
+                w,
+                y,
+                p,
+                wy,
+                w0_norm,
+                iterations: 0,
+                residual: 1.0,
+                halted: false,
+            });
+        }
+
+        for k in 0..self.options.max_iterations {
+            let mut active = Vec::new();
+            for (j, s) in states.iter_mut().enumerate() {
+                if s.halted {
+                    continue;
+                }
+                s.residual = blas::norm2(&s.w) / s.w0_norm;
+                if s.residual < self.options.tolerance {
+                    s.halted = true;
+                } else {
+                    active.push(j);
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            let p_cols: Vec<&Vec<f64>> = active.iter().map(|&j| &states[j].p).collect();
+            let (q_cols, t) = self.apply_batch(&p_cols);
+            apply_time = apply_time.then(t);
+            for (q, &j) in q_cols.iter().zip(&active) {
+                let s = &mut states[j];
+                s.iterations = k + 1;
+                let pq = blas::dot(&s.p, q);
+                if pq.abs() < f64::MIN_POSITIVE {
+                    s.halted = true;
+                    continue;
+                }
+                let delta = s.wy / pq;
+                blas::axpy(delta, &s.p, &mut s.lambda);
+                blas::axpy(-delta, q, &mut s.r);
+                s.w = self.project(&s.r);
+                s.y = self.project(&self.precondition(&s.w));
+                let wy_new = blas::dot(&s.w, &s.y);
+                let beta = wy_new / s.wy;
+                s.wy = wy_new;
+                for (pi, yi) in s.p.iter_mut().zip(&s.y) {
+                    *pi = yi + beta * *pi;
+                }
+                s.residual = blas::norm2(&s.w) / s.w0_norm;
+            }
+        }
+
+        for s in &states {
+            if s.residual >= self.options.tolerance && s.iterations >= self.options.max_iterations {
+                return Err(FetiError::NoConvergence {
+                    iterations: s.iterations,
+                    residual: s.residual,
+                });
+            }
+        }
+
+        // α = (GᵀG)⁻¹ Gᵀ (F λ - d) per case, through one final batched application.
+        let lambda_cols: Vec<&Vec<f64>> = states.iter().map(|s| &s.lambda).collect();
+        let (f_lambda_final, tf) = self.apply_batch(&lambda_cols);
+        apply_time = apply_time.then(tf);
+        let share = apply_time.scaled(1.0 / ncases as f64);
+
+        let mut solutions = Vec::with_capacity(ncases);
+        for ((s, f_lambda), case) in states.iter().zip(&f_lambda_final).zip(loads) {
+            let resid_dual: Vec<f64> = f_lambda.iter().zip(&s.d).map(|(a, b)| a - b).collect();
+            let mut gt_res = vec![0.0; self.g.ncols()];
+            ops::spmv_csr(1.0, &self.g, Transpose::Yes, &resid_dual, 0.0, &mut gt_res);
+            let alpha = self.gtg_factor.solve(&gt_res);
+            let subdomain_solutions = self.recover_subdomains(&s.lambda, &alpha, case);
+            let global_solution = self.problem.gather_solution(&subdomain_solutions);
+            solutions.push(FetiSolution {
+                lambda: s.lambda.clone(),
+                alpha,
+                subdomain_solutions,
+                global_solution,
+                iterations: s.iterations,
+                final_residual: s.residual,
+                preprocessing_time,
+                dual_apply_time: share,
+            });
+        }
+        Ok(solutions)
     }
 }
 
@@ -382,6 +550,57 @@ mod tests {
         let mut gtpx = vec![0.0; solver.g.ncols()];
         ops::spmv_csr(1.0, &solver.g, Transpose::Yes, &px, 0.0, &mut gtpx);
         assert!(blas::norm2(&gtpx) < 1e-9);
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let problem = DecomposedProblem::build(&spec);
+        let baseline: LoadCase =
+            problem.subdomains.iter().map(|sd| sd.assembled.load.clone()).collect();
+        // Scaling by a power of two keeps the scaled case's PCPG trajectory exactly
+        // proportional, so both cases converge in the same number of iterations.
+        let doubled: LoadCase =
+            baseline.iter().map(|f| f.iter().map(|v| v * 2.0).collect()).collect();
+        let mut batch_solver = TotalFetiSolver::new(
+            &problem,
+            DualOperatorApproach::ExplicitGpuLegacy,
+            None,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        let batch = batch_solver.solve_many(&[baseline, doubled]).unwrap();
+        assert_eq!(batch.len(), 2);
+        let (solo, _) = solve_with(&spec, DualOperatorApproach::ExplicitGpuLegacy);
+        assert_eq!(batch[0].iterations, solo.iterations);
+        for (a, b) in batch[0].global_solution.iter().zip(&solo.global_solution) {
+            assert!((a - b).abs() < 1e-10, "batched case 0 must match the solo solve");
+        }
+        for (a, b) in batch[1].global_solution.iter().zip(&solo.global_solution) {
+            assert!((a - 2.0 * b).abs() < 1e-8, "linearity: doubled load, doubled solution");
+        }
+        // Every batched column counts as one apply in the statistics.
+        let stats = batch_solver.dual_operator().stats();
+        assert_eq!(stats.apply_count, 2 * (solo.iterations + 2));
+    }
+
+    #[test]
+    fn planned_solver_converges_to_the_reference_solution() {
+        let spec = DecompositionSpec::small_heat_2d();
+        let problem = DecomposedProblem::build(&spec);
+        let mut solver = TotalFetiSolver::new_planned(
+            &problem,
+            GpuSpec::a100_40gb(),
+            100,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        let sol = solver.solve().unwrap();
+        assert!(sol.final_residual < 1e-8);
+        let (reference, _) = solve_with(&spec, DualOperatorApproach::ImplicitMkl);
+        for (a, b) in sol.global_solution.iter().zip(&reference.global_solution) {
+            assert!((a - b).abs() < 1e-6, "planned solver must reproduce the solution");
+        }
     }
 
     #[test]

@@ -22,13 +22,15 @@
 pub mod dualop;
 pub mod feti;
 pub mod params;
+pub mod planner;
 pub mod schedule;
 
 pub use dualop::{build_dual_operator, DualOperator, DualOperatorStats};
-pub use feti::{FetiSolution, PcpgOptions, TotalFetiSolver};
+pub use feti::{FetiSolution, LoadCase, PcpgOptions, TotalFetiSolver};
 pub use params::{
     DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path, ScatterGather,
 };
+pub use planner::{HostSpec, Plan, PlanCandidate, Planner};
 pub use schedule::{PhaseScheduler, TimeBreakdown};
 
 /// Errors reported by the FETI machinery.

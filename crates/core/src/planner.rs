@@ -1,0 +1,626 @@
+//! Cost-model-driven selection of the dual-operator approach.
+//!
+//! §V of the paper answers "which of the nine approaches should I run?" empirically,
+//! and [`ExplicitAssemblyParams::auto_configure`] hard-codes the resulting Table-II
+//! recommendations.  The [`Planner`] answers the same question *a priori*: given a
+//! decomposed problem and a device description it estimates, without executing
+//! anything, the preprocessing and per-application cost of every
+//! [`DualOperatorApproach`] × [`ExplicitAssemblyParams`] combination through the same
+//! calibrated roofline model the simulated device charges at execution time, amortizes
+//! preprocessing over an expected PCPG iteration count, and constructs the winner.
+//!
+//! The estimates are built from structure alone: subdomain sizes, gluing-matrix
+//! sparsity and the *symbolic* factor sizes reported by the solver facades (symbolic
+//! analysis inspects only the sparsity pattern — no numeric factorization runs).  The
+//! GPU side of an estimate therefore reproduces the modelled device time of an actual
+//! run exactly; the CPU side is priced by a calibrated [`HostSpec`] roofline since real
+//! host time can only be measured.
+
+use crate::dualop::{DualOperator, NUM_STREAMS, NUM_THREADS};
+use crate::params::{
+    DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path, ScatterGather,
+};
+use crate::schedule::{PhaseScheduler, TimeBreakdown};
+use feti_decompose::DecomposedProblem;
+use feti_gpu::{cost, CudaGeneration, GpuCost, GpuSpec};
+use feti_solver::cholmod::CholmodLike;
+use feti_solver::pardiso::PardisoLike;
+use feti_solver::SolverOptions;
+
+/// Roofline description of the host: effective per-thread FP64 throughput and memory
+/// bandwidth, plus a per-subdomain-task overhead (dispatch, allocation).
+///
+/// Host work in this repository is *measured*, not modelled; the planner still needs a
+/// price for it before anything has run.  The defaults are calibrated against the
+/// measured host kernels of this repository (Fig. 5 sweeps): indexed sparse access
+/// runs far below STREAM bandwidth, so the effective numbers are per-core kernel
+/// throughputs, not hardware peaks.
+#[derive(Debug, Clone, Copy)]
+pub struct HostSpec {
+    /// Effective per-thread FP64 throughput (FLOP/second).
+    pub flops_fp64: f64,
+    /// Effective per-thread memory bandwidth (bytes/second).
+    pub memory_bandwidth: f64,
+    /// Fixed overhead charged per subdomain task (seconds).
+    pub task_overhead_seconds: f64,
+}
+
+impl HostSpec {
+    /// The default calibration: one host thread running this crate's sparse kernels.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self { flops_fp64: 2.5e9, memory_bandwidth: 4.5e9, task_overhead_seconds: 1.0e-6 }
+    }
+
+    /// Roofline time of one host task touching `bytes` and executing `flops`.
+    #[must_use]
+    pub fn seconds(&self, bytes: f64, flops: f64) -> f64 {
+        self.task_overhead_seconds + (bytes / self.memory_bandwidth).max(flops / self.flops_fp64)
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Structural facts about one subdomain that the estimates are built from.
+#[derive(Debug, Clone, Copy)]
+struct SubdomainShape {
+    /// Degrees of freedom.
+    n: usize,
+    /// Local Lagrange multipliers.
+    nl: usize,
+    /// Stored entries of the local gluing matrix `B̃ᵢ`.
+    nnz_b: usize,
+    /// Device footprint of `B̃ᵢ` in bytes.
+    b_bytes: usize,
+    /// Symbolic factor size of the CHOLMOD-like solver (used by all GPU approaches).
+    fnnz_cholmod: usize,
+    /// Symbolic factor size of the MKL-PARDISO-like solver.
+    fnnz_mkl: usize,
+}
+
+/// The estimated cost of running one approach with one parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCandidate {
+    /// The approach estimated.
+    pub approach: DualOperatorApproach,
+    /// The explicit-assembly parameters the estimate assumed (CPU-only approaches
+    /// ignore them).
+    pub params: ExplicitAssemblyParams,
+    /// Estimated FETI preprocessing cost under the overlapped phase schedule.
+    pub preprocessing: TimeBreakdown,
+    /// Estimated cost of one dual-operator application.
+    pub apply: TimeBreakdown,
+    /// Whether the persistent device allocations of this approach fit the device.
+    pub fits_device_memory: bool,
+}
+
+impl PlanCandidate {
+    /// Amortized total: preprocessing plus `iterations` applications.
+    #[must_use]
+    pub fn total_seconds(&self, iterations: usize) -> f64 {
+        self.preprocessing.total_seconds + iterations as f64 * self.apply.total_seconds
+    }
+}
+
+/// The result of a planning pass: every estimated candidate, cheapest first.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The iteration count the amortization assumed.
+    pub expected_iterations: usize,
+    /// All candidates, sorted by amortized total with memory-infeasible ones last.
+    pub candidates: Vec<PlanCandidate>,
+}
+
+impl Plan {
+    /// The winning candidate: the cheapest one whose persistent allocations fit the
+    /// device (falling back to the overall cheapest if none fits).
+    ///
+    /// # Panics
+    /// Panics if the plan is empty (a [`Planner`] never produces an empty plan).
+    #[must_use]
+    pub fn best(&self) -> &PlanCandidate {
+        self.candidates.iter().find(|c| c.fits_device_memory).unwrap_or_else(|| &self.candidates[0])
+    }
+
+    /// Builds the dual operator the plan selected.
+    ///
+    /// # Errors
+    /// Returns an error if the operator cannot be constructed (e.g. the simulated
+    /// device rejects the persistent allocations).
+    pub fn build(&self, problem: &DecomposedProblem) -> crate::Result<Box<dyn DualOperator>> {
+        let best = self.best();
+        crate::dualop::build_dual_operator(best.approach, problem, Some(best.params))
+    }
+}
+
+/// The approach planner: estimates every approach/parameter combination for one
+/// decomposed problem and device, and picks the cheapest amortized one.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    problem: &'a DecomposedProblem,
+    gpu: GpuSpec,
+    host: HostSpec,
+    shapes: Vec<SubdomainShape>,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner for `problem` on a device described by `gpu`.
+    ///
+    /// Runs one symbolic analysis per subdomain and solver facade (sparsity only — no
+    /// numeric work) to learn the factor sizes the estimates need.
+    #[must_use]
+    pub fn new(problem: &'a DecomposedProblem, gpu: GpuSpec) -> Self {
+        let shapes = problem
+            .subdomains
+            .iter()
+            .map(|sd| SubdomainShape {
+                n: sd.num_dofs(),
+                nl: sd.num_local_lambdas(),
+                nnz_b: sd.gluing.nnz(),
+                b_bytes: sd.gluing.bytes(),
+                fnnz_cholmod: CholmodLike::analyze(&sd.k_reg, SolverOptions::default())
+                    .factor_nnz(),
+                fnnz_mkl: PardisoLike::analyze(&sd.k_reg, SolverOptions::default()).factor_nnz(),
+            })
+            .collect();
+        Self { problem, gpu, host: HostSpec::calibrated(), shapes }
+    }
+
+    /// Replaces the host calibration.
+    #[must_use]
+    pub fn with_host_spec(mut self, host: HostSpec) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// The device description the estimates use.
+    #[must_use]
+    pub fn gpu_spec(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Plans with the full Table-I parameter sweep for the explicit GPU approaches:
+    /// every approach × parameter combination is estimated and the cheapest amortized
+    /// candidate wins.
+    #[must_use]
+    pub fn plan(&self, expected_iterations: usize) -> Plan {
+        self.plan_impl(expected_iterations, true)
+    }
+
+    /// Plans with only the Table-II auto-configured parameters per approach — the
+    /// cheap search a production caller wants when the full sweep is not needed.
+    #[must_use]
+    pub fn plan_auto(&self, expected_iterations: usize) -> Plan {
+        self.plan_impl(expected_iterations, false)
+    }
+
+    fn plan_impl(&self, expected_iterations: usize, full_sweep: bool) -> Plan {
+        let mut candidates = Vec::new();
+        for approach in DualOperatorApproach::all() {
+            for params in self.params_candidates(approach, full_sweep) {
+                candidates.push(self.estimate(approach, params));
+            }
+        }
+        candidates.sort_by(|a, b| {
+            (!a.fits_device_memory, a.total_seconds(expected_iterations))
+                .partial_cmp(&(!b.fits_device_memory, b.total_seconds(expected_iterations)))
+                .expect("estimated costs are finite")
+        });
+        Plan { expected_iterations, candidates }
+    }
+
+    /// The parameter sets worth estimating for one approach.
+    fn params_candidates(
+        &self,
+        approach: DualOperatorApproach,
+        full_sweep: bool,
+    ) -> Vec<ExplicitAssemblyParams> {
+        let generation = approach.generation().unwrap_or(CudaGeneration::Legacy);
+        let auto = ExplicitAssemblyParams::auto_configure(
+            generation,
+            self.problem.spec.dim,
+            self.problem.spec.dofs_per_subdomain(),
+        );
+        match approach {
+            DualOperatorApproach::ExplicitGpuLegacy | DualOperatorApproach::ExplicitGpuModern
+                if full_sweep =>
+            {
+                ExplicitAssemblyParams::all_combinations()
+            }
+            DualOperatorApproach::ExplicitHybrid => {
+                // Only the scatter/gather placement affects the hybrid approach.
+                [ScatterGather::Gpu, ScatterGather::Cpu]
+                    .into_iter()
+                    .map(|scatter_gather| ExplicitAssemblyParams { scatter_gather, ..auto })
+                    .collect()
+            }
+            _ => vec![auto],
+        }
+    }
+
+    /// Estimates one approach with one parameter set — no execution, structure only.
+    #[must_use]
+    pub fn estimate(
+        &self,
+        approach: DualOperatorApproach,
+        params: ExplicitAssemblyParams,
+    ) -> PlanCandidate {
+        let generation = approach.generation().unwrap_or(CudaGeneration::Legacy);
+        let mut pre = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        let mut app = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        match approach {
+            DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = self.factor_nnz(approach, s);
+                    pre.record_subdomain(i, self.host_factorize(fnnz, s.n), &[]);
+                    app.record_subdomain(i, self.host_implicit_apply(fnnz, s), &[]);
+                }
+            }
+            DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = self.factor_nnz(approach, s);
+                    let assemble = self.host_factorize(fnnz, s.n) + self.host_schur(fnnz, s);
+                    pre.record_subdomain(i, assemble, &[]);
+                    app.record_subdomain(i, self.host_symv(s.nl), &[]);
+                }
+            }
+            DualOperatorApproach::ImplicitGpuLegacy | DualOperatorApproach::ImplicitGpuModern => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = s.fnnz_cholmod;
+                    pre.record_subdomain(
+                        i,
+                        self.host_factorize(fnnz, s.n),
+                        &[cost::transfer(&self.gpu, fnnz * 12)],
+                    );
+                    app.record_subdomain(i, 0.0, &self.implicit_gpu_apply_ops(generation, s));
+                }
+            }
+            DualOperatorApproach::ExplicitGpuLegacy | DualOperatorApproach::ExplicitGpuModern => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = s.fnnz_cholmod;
+                    pre.record_subdomain(
+                        i,
+                        self.host_factorize(fnnz, s.n),
+                        &self.explicit_assembly_ops(generation, &params, s),
+                    );
+                }
+                self.record_explicit_apply(&mut app, &params);
+            }
+            DualOperatorApproach::ExplicitHybrid => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = s.fnnz_mkl;
+                    let cpu = self.host_factorize(fnnz, s.n) + self.host_schur(fnnz, s);
+                    pre.record_subdomain(i, cpu, &[cost::transfer(&self.gpu, s.nl * s.nl * 8 / 2)]);
+                }
+                self.record_explicit_apply(&mut app, &params);
+            }
+        }
+        PlanCandidate {
+            approach,
+            params,
+            preprocessing: pre.finish(),
+            apply: app.finish(),
+            fits_device_memory: self.fits_device_memory(approach, generation),
+        }
+    }
+
+    /// Which solver facade's factor an approach uses.
+    fn factor_nnz(&self, approach: DualOperatorApproach, s: &SubdomainShape) -> usize {
+        match approach {
+            DualOperatorApproach::ImplicitMkl
+            | DualOperatorApproach::ExplicitMkl
+            | DualOperatorApproach::ExplicitHybrid => s.fnnz_mkl,
+            _ => s.fnnz_cholmod,
+        }
+    }
+
+    /// Host cost of one numeric Cholesky factorization (supernodal flop estimate
+    /// `Σ_j nnz(L_{:,j})² ≈ nnz(L)²/n` under a uniform column-fill assumption).
+    fn host_factorize(&self, fnnz: usize, n: usize) -> f64 {
+        let fl = 2.0 * (fnnz as f64) * (fnnz as f64) / n.max(1) as f64;
+        self.host.seconds(fnnz as f64 * 16.0, fl)
+    }
+
+    /// Host cost of one implicit application: two gluing SpMVs and two triangular
+    /// solves through the factor.  The ~19 effective bytes per stored entry are
+    /// calibrated against the measured Fig. 5 application sweeps (the solves reuse
+    /// index arrays, so they stream less than the raw two-pass estimate).
+    fn host_implicit_apply(&self, fnnz: usize, s: &SubdomainShape) -> f64 {
+        let bytes = 19.0 * (s.nnz_b + fnnz) as f64;
+        let flops = (4 * s.nnz_b + 4 * fnnz) as f64;
+        self.host.seconds(bytes, flops)
+    }
+
+    /// Host cost of assembling one dense `F̃ᵢ` (Schur complement or triangular solves
+    /// with `nlᵢ` right-hand sides — the flop counts agree to first order).
+    fn host_schur(&self, fnnz: usize, s: &SubdomainShape) -> f64 {
+        let flops = (2 * fnnz * s.nl + 2 * s.nnz_b * s.nl) as f64;
+        let bytes = (12 * fnnz + 8 * s.n * s.nl) as f64;
+        self.host.seconds(bytes, flops)
+    }
+
+    /// Host cost of one dense symmetric matrix-vector product.  The host SYMV walks
+    /// full rows with a per-row triangle branch; the measured Fig. 5 sweeps put its
+    /// effective traffic at ~13 bytes per matrix entry (≈1.6× the dense payload).
+    fn host_symv(&self, nl: usize) -> f64 {
+        let nlf = nl as f64;
+        self.host.seconds(nlf * nlf * 13.0, 2.0 * nlf * nlf)
+    }
+
+    /// The device operations one implicit GPU application submits per subdomain —
+    /// mirrors `ImplicitGpuOperator::apply` exactly.
+    fn implicit_gpu_apply_ops(
+        &self,
+        generation: CudaGeneration,
+        s: &SubdomainShape,
+    ) -> Vec<GpuCost> {
+        vec![
+            cost::transfer(&self.gpu, s.nl * 8),
+            cost::spmv(&self.gpu, s.nnz_b, s.nl),
+            cost::sparse_trsm_for(&self.gpu, generation, s.fnnz_cholmod, s.n, 1),
+            cost::sparse_trsm_for(&self.gpu, generation, s.fnnz_cholmod, s.n, 1),
+            cost::spmv(&self.gpu, s.nnz_b, s.nl),
+            cost::transfer(&self.gpu, s.nl * 8),
+        ]
+    }
+
+    /// The device operations one explicit assembly submits per subdomain — mirrors
+    /// `assemble_local_on_gpu` exactly (transfers, conversions, TRSM/SYRK kernels).
+    fn explicit_assembly_ops(
+        &self,
+        generation: CudaGeneration,
+        params: &ExplicitAssemblyParams,
+        s: &SubdomainShape,
+    ) -> Vec<GpuCost> {
+        let fnnz = s.fnnz_cholmod;
+        let mut ops = vec![
+            cost::transfer(&self.gpu, fnnz * 12),
+            cost::transfer(&self.gpu, s.b_bytes),
+            cost::sparse_to_dense(&self.gpu, s.nnz_b, s.n, s.nl),
+        ];
+        let solve = |storage: FactorStorage, ops: &mut Vec<GpuCost>| match storage {
+            FactorStorage::Dense => {
+                ops.push(cost::sparse_to_dense(&self.gpu, fnnz, s.n, s.n));
+                ops.push(cost::dense_trsm(&self.gpu, s.n, s.nl));
+            }
+            FactorStorage::Sparse => {
+                ops.push(cost::sparse_trsm_for(&self.gpu, generation, fnnz, s.n, s.nl));
+            }
+        };
+        solve(params.forward_factor_storage, &mut ops);
+        match params.path {
+            Path::Syrk => ops.push(cost::syrk(&self.gpu, s.nl, s.n)),
+            Path::Trsm => {
+                solve(params.backward_factor_storage, &mut ops);
+                ops.push(cost::spmm(&self.gpu, s.nnz_b, s.nl, s.nl));
+            }
+        }
+        ops
+    }
+
+    /// Records one explicit application phase — mirrors `apply_explicit_on_gpu`.
+    fn record_explicit_apply(&self, app: &mut PhaseScheduler, params: &ExplicitAssemblyParams) {
+        let nl_global = self.problem.num_lambdas;
+        if params.scatter_gather == ScatterGather::Gpu {
+            app.record_subdomain(
+                0,
+                0.0,
+                &[
+                    cost::transfer(&self.gpu, nl_global * 8),
+                    cost::scatter_gather(&self.gpu, nl_global),
+                ],
+            );
+        }
+        for (i, s) in self.shapes.iter().enumerate() {
+            let mut ops = Vec::new();
+            if params.scatter_gather == ScatterGather::Cpu {
+                ops.push(cost::transfer(&self.gpu, s.nl * 8));
+            }
+            ops.push(cost::symm(&self.gpu, s.nl, 1));
+            if params.scatter_gather == ScatterGather::Cpu {
+                ops.push(cost::transfer(&self.gpu, s.nl * 8));
+            }
+            app.record_subdomain(i, 0.0, &ops);
+        }
+        if params.scatter_gather == ScatterGather::Gpu {
+            app.record_subdomain(
+                0,
+                0.0,
+                &[
+                    cost::scatter_gather(&self.gpu, nl_global),
+                    cost::transfer(&self.gpu, nl_global * 8),
+                ],
+            );
+        }
+    }
+
+    /// Whether the persistent device allocations of an approach fit the device —
+    /// mirrors the `alloc_persistent` calls of the operator constructors.
+    fn fits_device_memory(
+        &self,
+        approach: DualOperatorApproach,
+        generation: CudaGeneration,
+    ) -> bool {
+        if !approach.uses_gpu() {
+            return true;
+        }
+        let mut persistent = 0usize;
+        for s in &self.shapes {
+            let factor_bytes = s.fnnz_cholmod * 16;
+            persistent += match approach {
+                DualOperatorApproach::ImplicitGpuLegacy
+                | DualOperatorApproach::ImplicitGpuModern => factor_bytes + s.b_bytes + s.n * 16,
+                DualOperatorApproach::ExplicitGpuLegacy
+                | DualOperatorApproach::ExplicitGpuModern => {
+                    let ws = match generation {
+                        CudaGeneration::Legacy => s.n * 16,
+                        CudaGeneration::Modern => 2 * factor_bytes + 2 * s.n * s.nl * 8,
+                    };
+                    factor_bytes + s.b_bytes + s.nl * s.nl * 8 / 2 + s.n * 16 + ws
+                }
+                DualOperatorApproach::ExplicitHybrid => s.nl * s.nl * 8 / 2 + s.nl * 16,
+                _ => 0,
+            };
+        }
+        persistent <= self.gpu.memory_capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualop::{build_dual_operator, SubdomainBlock};
+    use feti_decompose::DecompositionSpec;
+
+    fn shapes_match_blocks(planner: &Planner<'_>, blocks: &[SubdomainBlock]) -> bool {
+        planner
+            .shapes
+            .iter()
+            .zip(blocks)
+            .all(|(s, b)| s.n == b.num_dofs() && s.nl == b.num_local_lambdas())
+    }
+
+    fn planner_for(problem: &DecomposedProblem) -> Planner<'_> {
+        Planner::new(problem, GpuSpec::a100_40gb())
+    }
+
+    #[test]
+    fn shapes_reflect_the_problem() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        let blocks = SubdomainBlock::from_problem(&problem);
+        assert!(shapes_match_blocks(&planner, &blocks));
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive_for_every_combination() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        for approach in DualOperatorApproach::all() {
+            for params in ExplicitAssemblyParams::all_combinations() {
+                let c = planner.estimate(approach, params);
+                assert!(
+                    c.preprocessing.total_seconds.is_finite()
+                        && c.preprocessing.total_seconds > 0.0,
+                    "{approach:?} {params:?} preprocessing"
+                );
+                assert!(
+                    c.apply.total_seconds.is_finite() && c.apply.total_seconds > 0.0,
+                    "{approach:?} {params:?} apply"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_side_of_the_estimate_matches_the_executed_model_exactly() {
+        // The planner's device-op sequences mirror what the operators submit, and the
+        // symbolic factor size equals the numeric one, so the modelled GPU seconds of
+        // an estimate must coincide with an actual run for GPU-applied approaches.
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        for approach in [
+            DualOperatorApproach::ImplicitGpuLegacy,
+            DualOperatorApproach::ImplicitGpuModern,
+            DualOperatorApproach::ExplicitGpuLegacy,
+            DualOperatorApproach::ExplicitGpuModern,
+            DualOperatorApproach::ExplicitHybrid,
+        ] {
+            let params = ExplicitAssemblyParams::auto_configure(
+                approach.generation().unwrap(),
+                problem.spec.dim,
+                problem.spec.dofs_per_subdomain(),
+            );
+            let estimate = planner.estimate(approach, params);
+            let mut op = build_dual_operator(approach, &problem, Some(params)).unwrap();
+            let measured_pre = op.preprocess().unwrap();
+            let p: Vec<f64> = (0..problem.num_lambdas).map(|i| (i as f64 * 0.3).sin()).collect();
+            let mut q = vec![0.0; problem.num_lambdas];
+            let measured_apply = op.apply(&p, &mut q);
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            assert!(
+                rel(estimate.preprocessing.gpu_seconds, measured_pre.gpu_seconds) < 1e-9,
+                "{approach:?} preprocessing GPU: est {} vs measured {}",
+                estimate.preprocessing.gpu_seconds,
+                measured_pre.gpu_seconds
+            );
+            assert!(
+                rel(estimate.apply.gpu_seconds, measured_apply.gpu_seconds) < 1e-9,
+                "{approach:?} apply GPU: est {} vs measured {}",
+                estimate.apply.gpu_seconds,
+                measured_apply.gpu_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn plan_orders_candidates_and_builds_the_winner() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        let plan = planner.plan(100);
+        assert!(!plan.candidates.is_empty());
+        for w in plan.candidates.windows(2) {
+            if w[0].fits_device_memory == w[1].fits_device_memory {
+                assert!(w[0].total_seconds(100) <= w[1].total_seconds(100));
+            }
+        }
+        let op = plan.build(&problem).unwrap();
+        assert_eq!(op.approach(), plan.best().approach);
+    }
+
+    #[test]
+    fn amortization_shifts_the_choice_towards_explicit_approaches() {
+        // With one application the preprocessing dominates and an implicit approach
+        // wins; with many applications the cheap explicit application amortizes the
+        // assembly, exactly the trade-off of Fig. 6.  The 3D problem sits past the
+        // crossover where the explicit GPU application beats the CPU ones.
+        let spec = DecompositionSpec {
+            dim: feti_mesh::Dim::Three,
+            physics: feti_mesh::Physics::HeatTransfer,
+            order: feti_mesh::ElementOrder::Quadratic,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: 3,
+            subdomains_per_cluster: 8,
+        };
+        let problem = DecomposedProblem::build(&spec);
+        let planner = planner_for(&problem);
+        let eager = planner.plan(1);
+        let amortized = planner.plan(100_000);
+        assert!(!eager.best().approach.is_explicit(), "one apply cannot amortize assembly");
+        assert!(
+            amortized.best().approach.is_explicit(),
+            "100k applies must amortize the explicit assembly, picked {:?}",
+            amortized.best().approach
+        );
+    }
+
+    #[test]
+    fn auto_plan_is_close_to_the_full_sweep() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        for iterations in [1usize, 10, 100, 1000] {
+            let full = planner.plan(iterations);
+            let auto = planner.plan_auto(iterations);
+            let ratio =
+                auto.best().total_seconds(iterations) / full.best().total_seconds(iterations);
+            assert!(ratio <= 2.0, "iterations {iterations}: auto/full ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn infeasible_memory_is_detected() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let mut tiny = GpuSpec::a100_40gb();
+        tiny.memory_capacity_bytes = 1024;
+        let planner = Planner::new(&problem, tiny);
+        let plan = planner.plan(100);
+        assert!(plan.candidates.iter().any(|c| !c.fits_device_memory));
+        // CPU approaches never need device memory, so a feasible best always exists.
+        assert!(plan.best().fits_device_memory);
+        assert!(!plan.best().approach.uses_gpu());
+    }
+}

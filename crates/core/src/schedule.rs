@@ -32,6 +32,17 @@ impl TimeBreakdown {
             total_seconds: self.total_seconds + other.total_seconds,
         }
     }
+
+    /// Scales every component by `factor` (used to report each right-hand side's
+    /// amortized share of a batched phase).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            cpu_seconds: self.cpu_seconds * factor,
+            gpu_seconds: self.gpu_seconds * factor,
+            total_seconds: self.total_seconds * factor,
+        }
+    }
 }
 
 /// Schedules one phase of Algorithm 2: a parallel loop over subdomains where each
@@ -147,5 +158,14 @@ mod tests {
         assert!((c.total_seconds - 3.0).abs() < 1e-12);
         assert!((c.cpu_seconds - 1.5).abs() < 1e-12);
         assert!((c.gpu_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_scaling() {
+        let b = TimeBreakdown { cpu_seconds: 1.0, gpu_seconds: 2.0, total_seconds: 2.5 };
+        let half = b.scaled(0.5);
+        assert!((half.cpu_seconds - 0.5).abs() < 1e-12);
+        assert!((half.gpu_seconds - 1.0).abs() < 1e-12);
+        assert!((half.total_seconds - 1.25).abs() < 1e-12);
     }
 }

@@ -168,7 +168,7 @@ impl DecomposedProblem {
 
         // 3. Kernel bases, fixing DOFs and regularization per subdomain.
         let mut subdomains = Vec::with_capacity(n_sub);
-        for (idx, (mesh, asm)) in meshes.into_iter().zip(assembled.into_iter()).enumerate() {
+        for (idx, (mesh, asm)) in meshes.into_iter().zip(assembled).enumerate() {
             let kernel = kernel::kernel_basis(&mesh, spec.physics);
             let fixing = kernel::fixing_dofs(&mesh, spec.physics);
             let k_reg = kernel::regularize(&asm.stiffness, &fixing);

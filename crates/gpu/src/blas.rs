@@ -86,6 +86,43 @@ pub fn symv(
     cost::symv(spec, a.nrows())
 }
 
+/// Symmetric matrix–multi-vector product (SYMM-shaped batched SYMV): `Y = alpha A X +
+/// beta Y` where only one triangle of `A` is referenced and `X`/`Y` hold one
+/// right-hand side per column.
+///
+/// Numerically this performs the exact column-by-column host SYMV (so batched results
+/// are bit-for-bit identical to repeated [`symv`] calls); the modelled device time is a
+/// single SYMM-shaped kernel that streams the stored triangle once for the whole
+/// batch.
+///
+/// # Panics
+/// Panics if the dimensions of `a`, `x` and `y` are inconsistent.
+pub fn symm_multi(
+    spec: &GpuSpec,
+    uplo: Triangle,
+    alpha: f64,
+    a: &DenseMatrix,
+    x: &DenseMatrix,
+    beta: f64,
+    y: &mut DenseMatrix,
+) -> GpuCost {
+    assert_eq!(a.nrows(), x.nrows(), "operand row mismatch");
+    assert_eq!(x.nrows(), y.nrows(), "result row mismatch");
+    assert_eq!(x.ncols(), y.ncols(), "result column mismatch");
+    let mut y_col = vec![0.0; y.nrows()];
+    for j in 0..x.ncols() {
+        let x_col = x.col(j);
+        for (i, v) in y_col.iter_mut().enumerate() {
+            *v = y.get(i, j);
+        }
+        hostblas::symv(uplo, alpha, a, &x_col, beta, &mut y_col);
+        for (i, v) in y_col.iter().enumerate() {
+            y.set(i, j, *v);
+        }
+    }
+    cost::symm(spec, a.nrows(), x.ncols())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +160,37 @@ mod tests {
         assert!(c1.max_abs_diff(&c2) < 1e-12);
         // SYRK touches half the output of the GEMM, so it must not be slower.
         assert!(cost1.seconds <= cost2.seconds);
+    }
+
+    #[test]
+    fn symm_multi_is_bit_for_bit_column_symv() {
+        let s = spec();
+        let n = 5;
+        let mut a = DenseMatrix::zeros(n, n, MemoryOrder::RowMajor);
+        for i in 0..n {
+            for j in i..n {
+                a.set(i, j, ((i * 7 + j * 3) % 11) as f64 * 0.25 - 1.0);
+            }
+        }
+        let k = 4;
+        let mut x = DenseMatrix::zeros(n, k, MemoryOrder::ColMajor);
+        for j in 0..k {
+            for i in 0..n {
+                x.set(i, j, (i + 1) as f64 * 0.3 - j as f64);
+            }
+        }
+        let mut y_batched = DenseMatrix::zeros(n, k, MemoryOrder::ColMajor);
+        let c = symm_multi(&s, Triangle::Upper, 1.5, &a, &x, 0.0, &mut y_batched);
+        for j in 0..k {
+            let mut y_col = vec![0.0; n];
+            symv(&s, Triangle::Upper, 1.5, &a, &x.col(j), 0.0, &mut y_col);
+            for (i, v) in y_col.iter().enumerate() {
+                assert_eq!(y_batched.get(i, j), *v, "column {j} row {i}");
+            }
+        }
+        // One SYMM-shaped kernel must not cost more than k SYMV kernels.
+        let repeated = cost::symv(&s, n).seconds * k as f64;
+        assert!(c.seconds <= repeated);
     }
 
     #[test]

@@ -45,6 +45,18 @@ impl GpuSpec {
             sparse_trsm_efficiency_modern: 0.03,
         }
     }
+
+    /// The sparse-TRSM efficiency factor of the given cuSPARSE API generation.
+    ///
+    /// This is the entry point cost estimators use to price sparse triangular
+    /// solves a priori without holding an actual factor.
+    #[must_use]
+    pub fn sparse_trsm_efficiency(&self, generation: crate::CudaGeneration) -> f64 {
+        match generation {
+            crate::CudaGeneration::Legacy => self.sparse_trsm_efficiency_legacy,
+            crate::CudaGeneration::Modern => self.sparse_trsm_efficiency_modern,
+        }
+    }
 }
 
 /// The modelled cost of one device operation.
@@ -135,6 +147,34 @@ pub fn symv(spec: &GpuSpec, n: usize) -> GpuCost {
     let flops = 2.0 * n as f64 * n as f64;
     let bytes = (n as f64 * n as f64 / 2.0 + 2.0 * n as f64) * 8.0;
     roofline(spec, bytes, flops)
+}
+
+/// Cost of a symmetric matrix–multi-vector product (`SYMM`-shaped batched SYMV) with
+/// an `n x n` matrix stored as one triangle and `nrhs` simultaneous right-hand sides.
+///
+/// The triangle is streamed once for the whole batch instead of once per vector, which
+/// is the bandwidth amortization that makes the batched explicit application pay off;
+/// for `nrhs = 1` this degenerates exactly to [`symv`].
+#[must_use]
+pub fn symm(spec: &GpuSpec, n: usize, nrhs: usize) -> GpuCost {
+    let nf = n as f64;
+    let rf = nrhs as f64;
+    let flops = 2.0 * nf * nf * rf;
+    let bytes = (nf * nf / 2.0 + 2.0 * nf * rf) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a sparse triangular solve with the efficiency picked from the API
+/// generation — the entry point estimators use when they only know the generation.
+#[must_use]
+pub fn sparse_trsm_for(
+    spec: &GpuSpec,
+    generation: crate::CudaGeneration,
+    nnz_factor: usize,
+    n: usize,
+    nrhs: usize,
+) -> GpuCost {
+    sparse_trsm(spec, nnz_factor, n, nrhs, spec.sparse_trsm_efficiency(generation))
 }
 
 /// Cost of a sparse matrix-vector product with `nnz` stored entries.
@@ -231,6 +271,36 @@ mod tests {
         let c_syrk = syrk(&s, n, k);
         let c_trsm = dense_trsm(&s, k, n);
         assert!(c_syrk.seconds < c_trsm.seconds);
+    }
+
+    #[test]
+    fn symm_amortizes_the_triangle_traffic() {
+        let s = spec();
+        let n = 2000;
+        for k in [1usize, 2, 8, 64] {
+            let batched = symm(&s, n, k);
+            let repeated = (0..k).fold(GpuCost::zero(), |acc, _| acc.plus(symv(&s, n)));
+            assert!(
+                batched.seconds <= repeated.seconds + 1e-15,
+                "k = {k}: batched {} vs repeated {}",
+                batched.seconds,
+                repeated.seconds
+            );
+        }
+        // With one column the batched kernel is exactly a SYMV.
+        assert_eq!(symm(&s, n, 1).seconds, symv(&s, n).seconds);
+    }
+
+    #[test]
+    fn generation_wrapper_matches_explicit_efficiency() {
+        let s = spec();
+        let a = sparse_trsm_for(&s, crate::CudaGeneration::Legacy, 10_000, 1_000, 32);
+        let b = sparse_trsm(&s, 10_000, 1_000, 32, s.sparse_trsm_efficiency_legacy);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(
+            s.sparse_trsm_efficiency(crate::CudaGeneration::Modern),
+            s.sparse_trsm_efficiency_modern
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   copy/compute overlap the paper relies on.
 
 #![warn(missing_docs)]
+// The kernel entry points deliberately mirror the cuBLAS/cuSPARSE signatures
+// (handle-like spec, uplo/trans/diag descriptors, alpha/beta scalars, operands),
+// which puts several of them past clippy's argument-count threshold.
+#![allow(clippy::too_many_arguments)]
 
 pub mod blas;
 pub mod cost;

@@ -71,13 +71,41 @@ pub fn sparse_trsm_workspace(
     rhs_cols: usize,
     rhs_order: MemoryOrder,
 ) -> TrsmWorkspace {
-    let factor_bytes = factor.bytes();
+    let factor_order = match factor {
+        SparseFactor::Csr(_) => MemoryOrder::RowMajor,
+        SparseFactor::Csc(_) => MemoryOrder::ColMajor,
+    };
+    sparse_trsm_workspace_from_shape(
+        generation,
+        factor.bytes(),
+        factor.dim(),
+        factor_order,
+        rhs_rows,
+        rhs_cols,
+        rhs_order,
+    )
+}
+
+/// Buffer-size query for the sparse TRSM from shape information alone (no factor in
+/// hand) — the entry point a-priori cost estimators use to size workspaces before any
+/// factorization has happened.  A row-major factor corresponds to CSR storage, a
+/// column-major one to CSC.
+#[must_use]
+pub fn sparse_trsm_workspace_from_shape(
+    generation: CudaGeneration,
+    factor_bytes: usize,
+    factor_dim: usize,
+    factor_order: MemoryOrder,
+    rhs_rows: usize,
+    rhs_cols: usize,
+    rhs_order: MemoryOrder,
+) -> TrsmWorkspace {
     let rhs_bytes = rhs_rows * rhs_cols * 8;
     match generation {
         CudaGeneration::Legacy => {
-            let mut temporary = factor.dim() * 8;
-            let mut persistent = factor.dim() * 16;
-            if matches!(factor, SparseFactor::Csc(_)) {
+            let mut temporary = factor_dim * 8;
+            let mut persistent = factor_dim * 16;
+            if factor_order == MemoryOrder::ColMajor {
                 // Column-major factors force an internal transposed copy.
                 temporary += factor_bytes;
                 persistent += factor_bytes;
@@ -114,11 +142,7 @@ pub fn sparse_trsm(
         SparseFactor::Csr(l) => hostops::sptrsm_csr(uplo, trans, diag, alpha, l, b)?,
         SparseFactor::Csc(l) => hostops::sptrsm_csc(uplo, trans, diag, alpha, l, b)?,
     }
-    let eff = match generation {
-        CudaGeneration::Legacy => spec.sparse_trsm_efficiency_legacy,
-        CudaGeneration::Modern => spec.sparse_trsm_efficiency_modern,
-    };
-    Ok(cost::sparse_trsm(spec, factor.nnz(), factor.dim(), b.ncols(), eff))
+    Ok(cost::sparse_trsm_for(spec, generation, factor.nnz(), factor.dim(), b.ncols()))
 }
 
 /// Sparse-times-dense multiplication (SpMM): `C = alpha op(A) B + beta C`.
@@ -167,11 +191,7 @@ pub fn sparse_trsv(
         SparseFactor::Csr(l) => hostops::sptrsv_csr(uplo, trans, diag, l, b)?,
         SparseFactor::Csc(l) => hostops::sptrsv_csc(uplo, trans, diag, l, b)?,
     }
-    let eff = match generation {
-        CudaGeneration::Legacy => spec.sparse_trsm_efficiency_legacy,
-        CudaGeneration::Modern => spec.sparse_trsm_efficiency_modern,
-    };
-    Ok(cost::sparse_trsm(spec, factor.nnz(), factor.dim(), 1, eff))
+    Ok(cost::sparse_trsm_for(spec, generation, factor.nnz(), factor.dim(), 1))
 }
 
 /// Converts a sparse matrix to dense on the device (the paper converts `B̃ᵢ` and,
@@ -301,6 +321,31 @@ mod tests {
         let m2 =
             sparse_trsm_workspace(CudaGeneration::Modern, &csr, 200, 50, MemoryOrder::ColMajor);
         assert_eq!(m1.persistent_bytes, m2.persistent_bytes);
+    }
+
+    #[test]
+    fn shape_based_workspace_matches_factor_based_query() {
+        let l = lower_factor(300);
+        for (factor, order) in [
+            (SparseFactor::Csr(l.clone()), MemoryOrder::RowMajor),
+            (SparseFactor::Csc(l.to_csc()), MemoryOrder::ColMajor),
+        ] {
+            for generation in [CudaGeneration::Legacy, CudaGeneration::Modern] {
+                for rhs_order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+                    let direct = sparse_trsm_workspace(generation, &factor, 300, 40, rhs_order);
+                    let shaped = sparse_trsm_workspace_from_shape(
+                        generation,
+                        factor.bytes(),
+                        factor.dim(),
+                        order,
+                        300,
+                        40,
+                        rhs_order,
+                    );
+                    assert_eq!(direct, shaped);
+                }
+            }
+        }
     }
 
     #[test]

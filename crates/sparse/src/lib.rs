@@ -13,6 +13,10 @@
 //! are reported through [`SparseError`].
 
 #![warn(missing_docs)]
+// Index-based loops are the natural notation for the dense/sparse kernels in this
+// crate (they mirror the BLAS reference loops and keep row/column index arithmetic
+// explicit), so the iterator-style rewrite clippy suggests would hurt readability.
+#![allow(clippy::needless_range_loop)]
 
 pub mod blas;
 pub mod coo;

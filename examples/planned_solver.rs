@@ -1,0 +1,92 @@
+//! Planned solving: let the cost-model planner pick the dual-operator approach a
+//! priori, then solve several load cases at once through the batched multi-RHS
+//! application path.
+//!
+//! Run with `cargo run --release --example planned_solver`.
+
+use feti_core::planner::Planner;
+use feti_core::{LoadCase, PcpgOptions, TotalFetiSolver};
+use feti_decompose::{DecomposedProblem, DecompositionSpec};
+use feti_gpu::GpuSpec;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+fn main() {
+    // 1. Decompose a 3D heat-transfer problem (2x2x2 subdomains, quadratic elements).
+    let spec = DecompositionSpec {
+        dim: Dim::Three,
+        physics: Physics::HeatTransfer,
+        order: ElementOrder::Quadratic,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 3,
+        subdomains_per_cluster: 8,
+    };
+    let problem = DecomposedProblem::build(&spec);
+    println!(
+        "problem: {} subdomains, {} DOFs each, {} Lagrange multipliers",
+        problem.subdomains.len(),
+        spec.dofs_per_subdomain(),
+        problem.num_lambdas
+    );
+
+    // 2. Plan: estimate every approach x parameter combination a priori (no
+    //    execution) and inspect the ranking.
+    let expected_iterations = 100;
+    let planner = Planner::new(&problem, GpuSpec::a100_40gb());
+    let plan = planner.plan(expected_iterations);
+    println!("\nplanner ranking (amortized over {expected_iterations} iterations):");
+    let mut seen = std::collections::HashSet::new();
+    for c in &plan.candidates {
+        if seen.insert(c.approach) {
+            println!(
+                "  {:<14} est. total {:>10.3} ms  (pre {:.3} ms + {expected_iterations} x {:.4} ms)",
+                c.approach.label(),
+                c.total_seconds(expected_iterations) * 1e3,
+                c.preprocessing.total_seconds * 1e3,
+                c.apply.total_seconds * 1e3
+            );
+        }
+    }
+    println!("planned pick: {}", plan.best().approach.label());
+
+    // 3. Solve three load cases in one batched run: the baseline load and two
+    //    variations, sharing one preprocessing and batching every PCPG application.
+    let baseline: LoadCase =
+        problem.subdomains.iter().map(|sd| sd.assembled.load.clone()).collect();
+    let doubled: LoadCase = baseline.iter().map(|f| f.iter().map(|v| 2.0 * v).collect()).collect();
+    let tilted: LoadCase = problem
+        .subdomains
+        .iter()
+        .map(|sd| {
+            sd.assembled
+                .load
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (1.0 + 0.1 * (i as f64 * 0.05).sin()))
+                .collect()
+        })
+        .collect();
+
+    let mut solver = TotalFetiSolver::new_planned(
+        &problem,
+        GpuSpec::a100_40gb(),
+        expected_iterations,
+        PcpgOptions::default(),
+    )
+    .expect("solver construction");
+    let solutions = solver.solve_many(&[baseline, doubled, tilted]).expect("batched solve");
+
+    println!("\nsolved {} load cases in one batched run:", solutions.len());
+    for (i, sol) in solutions.iter().enumerate() {
+        let max = sol.global_solution.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "  case {i}: {} iterations, residual {:.2e}, max temperature {max:.4}",
+            sol.iterations, sol.final_residual
+        );
+    }
+    let stats = solver.dual_operator().stats();
+    println!(
+        "\ndual operator: {} applications (columns) through approach {}",
+        stats.apply_count,
+        solver.dual_operator().approach().label()
+    );
+}

@@ -1,0 +1,162 @@
+//! Cross-approach conformance suite: every dual-operator approach of Table III must
+//! agree with the implicit CPU reference operator — on the raw operator action `F·p`,
+//! and on the solution PCPG converges to — for heat transfer in 2D and 3D and linear
+//! elasticity in 2D.  The suite also pins the planner's acceptance criterion: for the
+//! Fig. 6 problem sizes the planned pick stays within 2x of the exhaustive modelled
+//! optimum.
+
+use feti_core::planner::Planner;
+use feti_core::{
+    build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, PcpgOptions, TotalFetiSolver,
+};
+use feti_decompose::{DecomposedProblem, DecompositionSpec};
+use feti_gpu::GpuSpec;
+use feti_mesh::{Dim, ElementOrder, Physics};
+use feti_sparse::blas;
+
+fn heat_2d() -> DecompositionSpec {
+    DecompositionSpec::small_heat_2d()
+}
+
+fn heat_3d() -> DecompositionSpec {
+    DecompositionSpec {
+        dim: Dim::Three,
+        physics: Physics::HeatTransfer,
+        order: ElementOrder::Quadratic,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 2,
+        subdomains_per_cluster: 8,
+    }
+}
+
+fn elasticity_2d() -> DecompositionSpec {
+    DecompositionSpec {
+        dim: Dim::Two,
+        physics: Physics::LinearElasticity,
+        order: ElementOrder::Linear,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 3,
+        subdomains_per_cluster: 4,
+    }
+}
+
+fn problems() -> Vec<(&'static str, DecompositionSpec)> {
+    vec![("heat/2D", heat_2d()), ("heat/3D", heat_3d()), ("elasticity/2D", elasticity_2d())]
+}
+
+/// `F·p` of every approach must match the implicit CPU reference within 1e-9 relative
+/// error.
+#[test]
+fn every_approach_applies_the_same_operator() {
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        let nl = problem.num_lambdas;
+        let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+        let mut reference_op =
+            build_dual_operator(DualOperatorApproach::ImplicitCholmod, &problem, None).unwrap();
+        reference_op.preprocess().unwrap();
+        let mut q_ref = vec![0.0; nl];
+        reference_op.apply(&p, &mut q_ref);
+        let ref_norm = blas::norm2(&q_ref);
+        assert!(ref_norm > 0.0, "{name}: reference action must be nontrivial");
+        for approach in DualOperatorApproach::all() {
+            let mut op = build_dual_operator(approach, &problem, None).unwrap();
+            op.preprocess().unwrap();
+            let mut q = vec![0.0; nl];
+            op.apply(&p, &mut q);
+            let diff: Vec<f64> = q.iter().zip(&q_ref).map(|(a, b)| a - b).collect();
+            let rel = blas::norm2(&diff) / ref_norm;
+            assert!(rel < 1e-9, "{name} {approach:?}: relative F·p error {rel:e}");
+        }
+    }
+}
+
+/// PCPG must converge to the same primal solution through every approach.
+#[test]
+fn every_approach_converges_to_the_same_solution() {
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        let mut reference_solver = TotalFetiSolver::new(
+            &problem,
+            DualOperatorApproach::ImplicitCholmod,
+            None,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        let reference = reference_solver.solve().unwrap();
+        let ref_norm = blas::norm2(&reference.global_solution).max(f64::MIN_POSITIVE);
+        for approach in DualOperatorApproach::all() {
+            let mut solver =
+                TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default()).unwrap();
+            let sol = solver.solve().unwrap();
+            assert!(sol.final_residual < 1e-8, "{name} {approach:?} must converge");
+            let diff: Vec<f64> = sol
+                .global_solution
+                .iter()
+                .zip(&reference.global_solution)
+                .map(|(a, b)| a - b)
+                .collect();
+            let rel = blas::norm2(&diff) / ref_norm;
+            assert!(rel < 1e-6, "{name} {approach:?}: relative solution error {rel:e}");
+            assert!(
+                problem.interface_jump(&sol.subdomain_solutions) < 1e-6,
+                "{name} {approach:?}: interface continuity"
+            );
+        }
+    }
+}
+
+/// Acceptance criterion of the planner: for the Fig. 6 problem sizes, the planned
+/// pick's modelled amortized total stays within 2x of the exhaustive modelled optimum
+/// over every approach × Table-I parameter combination — both for the full-sweep plan
+/// and for the pruned auto-configured plan.
+#[test]
+fn planner_pick_is_within_2x_of_the_exhaustive_modelled_optimum() {
+    let fig6_specs: Vec<DecompositionSpec> = [3usize, 6]
+        .iter()
+        .map(|&nel| DecompositionSpec {
+            dim: Dim::Two,
+            physics: Physics::HeatTransfer,
+            order: ElementOrder::Linear,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: nel,
+            subdomains_per_cluster: 4,
+        })
+        .chain([2usize, 3].iter().map(|&nel| DecompositionSpec {
+            dim: Dim::Three,
+            physics: Physics::HeatTransfer,
+            order: ElementOrder::Quadratic,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: nel,
+            subdomains_per_cluster: 8,
+        }))
+        .collect();
+    for spec in fig6_specs {
+        let problem = DecomposedProblem::build(&spec);
+        let planner = Planner::new(&problem, GpuSpec::a100_40gb());
+        for iterations in [1usize, 10, 100, 1000, 10_000] {
+            // Exhaustive modelled optimum: every approach × every Table-I combination.
+            let mut optimum = f64::INFINITY;
+            for approach in DualOperatorApproach::all() {
+                for params in ExplicitAssemblyParams::all_combinations() {
+                    let c = planner.estimate(approach, params);
+                    if c.fits_device_memory {
+                        optimum = optimum.min(c.total_seconds(iterations));
+                    }
+                }
+            }
+            for (label, plan) in
+                [("full", planner.plan(iterations)), ("auto", planner.plan_auto(iterations))]
+            {
+                let pick = plan.best().total_seconds(iterations);
+                assert!(
+                    pick <= 2.0 * optimum,
+                    "{:?} {} dofs, {iterations} iterations, {label} plan: pick {pick:e} vs \
+                     optimum {optimum:e}",
+                    spec.dim,
+                    spec.dofs_per_subdomain()
+                );
+            }
+        }
+    }
+}

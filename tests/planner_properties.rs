@@ -1,0 +1,90 @@
+//! Property tests of the cost-model planner: over randomly drawn mesh sizes,
+//! dimensionalities and amortization horizons, every estimate must be finite and
+//! positive for the full Table-I parameter space, and the planner's pick (full sweep
+//! and pruned auto-configured alike) must stay within 2x of the exhaustively modelled
+//! optimum.
+
+use feti_core::planner::Planner;
+use feti_core::{DualOperatorApproach, ExplicitAssemblyParams};
+use feti_decompose::{DecomposedProblem, DecompositionSpec};
+use feti_gpu::GpuSpec;
+use feti_mesh::{Dim, ElementOrder, Physics};
+use proptest::prelude::*;
+
+fn spec_for(use_3d: bool, nel2: usize, nel3: usize, elasticity: bool) -> DecompositionSpec {
+    if use_3d {
+        DecompositionSpec {
+            dim: Dim::Three,
+            physics: Physics::HeatTransfer,
+            order: ElementOrder::Quadratic,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: nel3,
+            subdomains_per_cluster: 8,
+        }
+    } else {
+        DecompositionSpec {
+            dim: Dim::Two,
+            physics: if elasticity { Physics::LinearElasticity } else { Physics::HeatTransfer },
+            order: ElementOrder::Linear,
+            subdomains_per_side: 2,
+            elements_per_subdomain_side: nel2,
+            subdomains_per_cluster: 4,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn estimates_are_finite_and_pick_is_near_optimal(
+        nel2 in 2usize..9,
+        nel3 in 2usize..4,
+        use_3d in 0u8..2,
+        elasticity in 0u8..2,
+        iters_exp in 0u32..5,
+    ) {
+        let spec = spec_for(use_3d == 1, nel2, nel3, elasticity == 1);
+        let problem = DecomposedProblem::build(&spec);
+        let planner = Planner::new(&problem, GpuSpec::a100_40gb());
+        let iterations = 10usize.pow(iters_exp);
+
+        // Exhaustive modelled sweep: every approach x every Table-I combination.
+        let mut optimum = f64::INFINITY;
+        for approach in DualOperatorApproach::all() {
+            for params in ExplicitAssemblyParams::all_combinations() {
+                let c = planner.estimate(approach, params);
+                prop_assert!(
+                    c.preprocessing.total_seconds.is_finite()
+                        && c.preprocessing.total_seconds > 0.0,
+                    "{:?} preprocessing estimate must be finite and positive", approach
+                );
+                prop_assert!(
+                    c.apply.total_seconds.is_finite() && c.apply.total_seconds > 0.0,
+                    "{:?} apply estimate must be finite and positive", approach
+                );
+                prop_assert!(
+                    c.total_seconds(iterations).is_finite(),
+                    "{:?} amortized total must be finite", approach
+                );
+                if c.fits_device_memory {
+                    optimum = optimum.min(c.total_seconds(iterations));
+                }
+            }
+        }
+        prop_assert!(optimum.is_finite());
+
+        let full = planner.plan(iterations);
+        let auto = planner.plan_auto(iterations);
+        let full_pick = full.best().total_seconds(iterations);
+        let auto_pick = auto.best().total_seconds(iterations);
+        prop_assert!(
+            full_pick <= 2.0 * optimum,
+            "full-sweep pick {} vs modelled optimum {}", full_pick, optimum
+        );
+        prop_assert!(
+            auto_pick <= 2.0 * optimum,
+            "auto pick {} vs modelled optimum {}", auto_pick, optimum
+        );
+    }
+}
