@@ -8,6 +8,7 @@ use feti_gpu::CudaGeneration;
 use feti_mesh::{Dim, ElementOrder, Physics};
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Fig. 2 reproduction — SYRK vs TRSM path speedup in explicit GPU assembly (scale {scale:?})");
     let mut speedups: Vec<(String, f64)> = Vec::new();

@@ -23,6 +23,7 @@ fn params(storage: FactorStorage) -> ExplicitAssemblyParams {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!(
         "Fig. 3 reproduction — factor storage in explicit assembly (heat 3D, quadratic tets, SYRK path, scale {scale:?})"

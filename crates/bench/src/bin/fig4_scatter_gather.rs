@@ -8,6 +8,7 @@ use feti_gpu::CudaGeneration;
 use feti_mesh::{Dim, ElementOrder, Physics};
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!(
         "Fig. 4 reproduction — scatter/gather on CPU vs GPU (heat 3D, quadratic tets, scale {scale:?})"

@@ -52,6 +52,7 @@ fn print_block(title: &str, rows: &[Vec<Measurement>], preprocessing: bool) {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Fig. 5 reproduction — heat transfer, times in ms per subdomain (scale {scale:?})");
 

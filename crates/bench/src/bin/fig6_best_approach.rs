@@ -88,6 +88,7 @@ fn run_dim(dim: Dim, scale: BenchScale) {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Fig. 6 reproduction — total dual-operator time vs iteration count (scale {scale:?})");
     run_dim(Dim::Two, scale);

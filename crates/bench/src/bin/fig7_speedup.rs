@@ -47,6 +47,7 @@ fn run_dim(dim: Dim, scale: BenchScale) {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!(
         "Fig. 7 reproduction — speedup relative to the implicit CPU approach (scale {scale:?})"

@@ -103,6 +103,7 @@ fn run_dim(dim: Dim, scale: BenchScale, violations: &mut usize) {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Planner validation — a-priori pick vs exhaustive measurement (scale {scale:?})");
     let mut violations = 0usize;

@@ -21,6 +21,7 @@ fn describe(p: &ExplicitAssemblyParams) -> String {
 }
 
 fn main() {
+    feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Table II reproduction — exhaustive parameter search (scale {scale:?})");
     print_header(

@@ -145,6 +145,20 @@ pub fn measure_approach(
     }
 }
 
+/// Prints the host-runtime configuration every figure/table binary reports first:
+/// the worker-thread count of the parallel subdomain loops (`FETI_THREADS` or the
+/// machine's available parallelism) and the benchmark scale.
+///
+/// Host-side `cpu_seconds` are measured wall times of the parallel regions, so the
+/// thread count is part of the measurement conditions and belongs next to the data.
+pub fn print_run_config() {
+    println!(
+        "host threads: {} (set FETI_THREADS to override), bench scale: {:?}",
+        feti_core::host_threads(),
+        BenchScale::from_env()
+    );
+}
+
 /// Prints a figure/table header in a uniform style.
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n=== {title} ===");

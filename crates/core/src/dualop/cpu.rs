@@ -1,7 +1,14 @@
 //! CPU-only dual operator approaches: `impl mkl`, `impl cholmod`, `expl mkl`,
 //! `expl cholmod`.
+//!
+//! The subdomain loops run on the real host thread pool.  Determinism contract: each
+//! parallel region computes purely per-subdomain results which are collected in
+//! subdomain-index order, and every cross-subdomain reduction (the `gather` into the
+//! global dual vector, the scheduler recording, the statistics) happens sequentially
+//! in that order after the region joins — so the numerics and the modelled device
+//! times are bit-for-bit independent of the thread count and of scheduling.
 
-use super::{DualOperator, DualOperatorStats, SubdomainBlock, NUM_STREAMS, NUM_THREADS};
+use super::{DualOperator, DualOperatorStats, SharedStats, SubdomainBlock};
 use crate::params::DualOperatorApproach;
 use crate::schedule::{PhaseScheduler, TimeBreakdown};
 use feti_solver::cholmod::{CholmodFactor, CholmodLike};
@@ -49,7 +56,7 @@ pub struct ImplicitCpuOperator {
     num_lambdas: usize,
     symbolic: Vec<CpuSymbolic>,
     factors: Vec<Option<CpuFactor>>,
-    stats: DualOperatorStats,
+    stats: SharedStats,
 }
 
 impl ImplicitCpuOperator {
@@ -63,14 +70,7 @@ impl ImplicitCpuOperator {
         let symbolic: Vec<CpuSymbolic> =
             blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
         let factors = blocks.iter().map(|_| None).collect();
-        Self {
-            approach,
-            blocks,
-            num_lambdas,
-            symbolic,
-            factors,
-            stats: DualOperatorStats::default(),
-        }
+        Self { approach, blocks, num_lambdas, symbolic, factors, stats: SharedStats::default() }
     }
 }
 
@@ -84,6 +84,7 @@ impl DualOperator for ImplicitCpuOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let region = Instant::now();
         let results: Vec<(CpuFactor, f64)> = self
             .blocks
             .par_iter()
@@ -97,13 +98,14 @@ impl DualOperator for ImplicitCpuOperator {
                 Ok((factor, start.elapsed().as_secs_f64()))
             })
             .collect::<crate::Result<Vec<_>>>()?;
-        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        let wall = region.elapsed().as_secs_f64();
+        let mut scheduler = PhaseScheduler::for_host();
         for (i, (factor, seconds)) in results.into_iter().enumerate() {
             self.factors[i] = Some(factor);
             scheduler.record_subdomain(i, seconds, &[]);
         }
-        let breakdown = scheduler.finish();
-        self.stats.preprocessing = breakdown;
+        let breakdown = scheduler.finish_measured(wall);
+        self.stats.record_preprocessing(breakdown);
         Ok(breakdown)
     }
 
@@ -111,28 +113,36 @@ impl DualOperator for ImplicitCpuOperator {
         assert_eq!(p.len(), self.num_lambdas);
         assert_eq!(q.len(), self.num_lambdas);
         q.iter_mut().for_each(|v| *v = 0.0);
-        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
-        for (i, block) in self.blocks.iter().enumerate() {
-            let factor = self.factors[i].as_ref().expect("preprocess must be called before apply");
-            let start = Instant::now();
-            let p_local = block.scatter(p);
-            let mut t = vec![0.0; block.num_dofs()];
-            ops::spmv_csr(1.0, &block.b, Transpose::Yes, &p_local, 0.0, &mut t);
-            let x = factor.solve(&t);
-            let mut q_local = vec![0.0; block.num_local_lambdas()];
-            ops::spmv_csr(1.0, &block.b, Transpose::No, &x, 0.0, &mut q_local);
-            let seconds = start.elapsed().as_secs_f64();
-            block.gather(&q_local, q);
-            scheduler.record_subdomain(i, seconds, &[]);
+        let region = Instant::now();
+        let locals: Vec<(Vec<f64>, f64)> = self
+            .blocks
+            .par_iter()
+            .zip(self.factors.par_iter())
+            .map(|(block, factor)| {
+                let factor = factor.as_ref().expect("preprocess must be called before apply");
+                let start = Instant::now();
+                let p_local = block.scatter(p);
+                let mut t = vec![0.0; block.num_dofs()];
+                ops::spmv_csr(1.0, &block.b, Transpose::Yes, &p_local, 0.0, &mut t);
+                let x = factor.solve(&t);
+                let mut q_local = vec![0.0; block.num_local_lambdas()];
+                ops::spmv_csr(1.0, &block.b, Transpose::No, &x, 0.0, &mut q_local);
+                (q_local, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let wall = region.elapsed().as_secs_f64();
+        let mut scheduler = PhaseScheduler::for_host();
+        for (i, (q_local, seconds)) in locals.iter().enumerate() {
+            self.blocks[i].gather(q_local, q);
+            scheduler.record_subdomain(i, *seconds, &[]);
         }
-        let breakdown = scheduler.finish();
-        self.stats.total_apply = self.stats.total_apply.then(breakdown);
-        self.stats.apply_count += 1;
+        let breakdown = scheduler.finish_measured(wall);
+        self.stats.record_apply(breakdown, 1);
         breakdown
     }
 
     fn stats(&self) -> DualOperatorStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 
@@ -144,7 +154,7 @@ pub struct ExplicitCpuOperator {
     num_lambdas: usize,
     symbolic: Vec<CpuSymbolic>,
     f_local: Vec<Option<DenseMatrix>>,
-    stats: DualOperatorStats,
+    stats: SharedStats,
 }
 
 impl ExplicitCpuOperator {
@@ -158,14 +168,7 @@ impl ExplicitCpuOperator {
         let symbolic: Vec<CpuSymbolic> =
             blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
         let f_local = blocks.iter().map(|_| None).collect();
-        Self {
-            approach,
-            blocks,
-            num_lambdas,
-            symbolic,
-            f_local,
-            stats: DualOperatorStats::default(),
-        }
+        Self { approach, blocks, num_lambdas, symbolic, f_local, stats: SharedStats::default() }
     }
 
     /// Assembles `F̃ᵢ` for one subdomain on the CPU (used also by the hybrid approach).
@@ -214,6 +217,7 @@ impl DualOperator for ExplicitCpuOperator {
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
         let approach = self.approach;
+        let region = Instant::now();
         let results: Vec<(DenseMatrix, f64)> = self
             .blocks
             .par_iter()
@@ -224,13 +228,14 @@ impl DualOperator for ExplicitCpuOperator {
                 Ok((f, start.elapsed().as_secs_f64()))
             })
             .collect::<crate::Result<Vec<_>>>()?;
-        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
+        let wall = region.elapsed().as_secs_f64();
+        let mut scheduler = PhaseScheduler::for_host();
         for (i, (f, seconds)) in results.into_iter().enumerate() {
             self.f_local[i] = Some(f);
             scheduler.record_subdomain(i, seconds, &[]);
         }
-        let breakdown = scheduler.finish();
-        self.stats.preprocessing = breakdown;
+        let breakdown = scheduler.finish_measured(wall);
+        self.stats.record_preprocessing(breakdown);
         Ok(breakdown)
     }
 
@@ -238,20 +243,28 @@ impl DualOperator for ExplicitCpuOperator {
         assert_eq!(p.len(), self.num_lambdas);
         assert_eq!(q.len(), self.num_lambdas);
         q.iter_mut().for_each(|v| *v = 0.0);
-        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
-        for (i, block) in self.blocks.iter().enumerate() {
-            let f = self.f_local[i].as_ref().expect("preprocess must be called before apply");
-            let start = Instant::now();
-            let p_local = block.scatter(p);
-            let mut q_local = vec![0.0; block.num_local_lambdas()];
-            apply_local_explicit(f, &p_local, &mut q_local);
-            let seconds = start.elapsed().as_secs_f64();
-            block.gather(&q_local, q);
-            scheduler.record_subdomain(i, seconds, &[]);
+        let region = Instant::now();
+        let locals: Vec<(Vec<f64>, f64)> = self
+            .blocks
+            .par_iter()
+            .zip(self.f_local.par_iter())
+            .map(|(block, f)| {
+                let f = f.as_ref().expect("preprocess must be called before apply");
+                let start = Instant::now();
+                let p_local = block.scatter(p);
+                let mut q_local = vec![0.0; block.num_local_lambdas()];
+                apply_local_explicit(f, &p_local, &mut q_local);
+                (q_local, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let wall = region.elapsed().as_secs_f64();
+        let mut scheduler = PhaseScheduler::for_host();
+        for (i, (q_local, seconds)) in locals.iter().enumerate() {
+            self.blocks[i].gather(q_local, q);
+            scheduler.record_subdomain(i, *seconds, &[]);
         }
-        let breakdown = scheduler.finish();
-        self.stats.total_apply = self.stats.total_apply.then(breakdown);
-        self.stats.apply_count += 1;
+        let breakdown = scheduler.finish_measured(wall);
+        self.stats.record_apply(breakdown, 1);
         breakdown
     }
 
@@ -261,36 +274,45 @@ impl DualOperator for ExplicitCpuOperator {
         assert_eq!(p.ncols(), q.ncols(), "input and output batches must have equal width");
         let k = p.ncols();
         q.fill(0.0);
-        let mut scheduler = PhaseScheduler::new(NUM_THREADS, NUM_STREAMS);
-        for (i, block) in self.blocks.iter().enumerate() {
-            let f = self.f_local[i].as_ref().expect("preprocess must be called before apply");
-            let nl = block.num_local_lambdas();
-            // The dense F̃ᵢ stays hot across the columns of the batch — the CPU-side
-            // analogue of the SYMM-shaped amortization on the device.
-            let start = Instant::now();
-            let mut locals: Vec<Vec<f64>> = Vec::with_capacity(k);
-            for j in 0..k {
-                let p_local: Vec<f64> = block.lambda_map.iter().map(|&g| p.get(g, j)).collect();
-                let mut q_local = vec![0.0; nl];
-                apply_local_explicit(f, &p_local, &mut q_local);
-                locals.push(q_local);
-            }
-            let seconds = start.elapsed().as_secs_f64();
-            for (j, q_local) in locals.iter().enumerate() {
+        let region = Instant::now();
+        let locals: Vec<(Vec<Vec<f64>>, f64)> = self
+            .blocks
+            .par_iter()
+            .zip(self.f_local.par_iter())
+            .map(|(block, f)| {
+                let f = f.as_ref().expect("preprocess must be called before apply");
+                let nl = block.num_local_lambdas();
+                // The dense F̃ᵢ stays hot across the columns of the batch — the
+                // CPU-side analogue of the SYMM-shaped amortization on the device.
+                let start = Instant::now();
+                let mut block_locals: Vec<Vec<f64>> = Vec::with_capacity(k);
+                for j in 0..k {
+                    let p_local: Vec<f64> = block.lambda_map.iter().map(|&g| p.get(g, j)).collect();
+                    let mut q_local = vec![0.0; nl];
+                    apply_local_explicit(f, &p_local, &mut q_local);
+                    block_locals.push(q_local);
+                }
+                (block_locals, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let wall = region.elapsed().as_secs_f64();
+        let mut scheduler = PhaseScheduler::for_host();
+        for (i, (block_locals, seconds)) in locals.iter().enumerate() {
+            let block = &self.blocks[i];
+            for (j, q_local) in block_locals.iter().enumerate() {
                 for (l, &g) in block.lambda_map.iter().enumerate() {
                     q.add_assign_at(g, j, q_local[l]);
                 }
             }
-            scheduler.record_subdomain(i, seconds, &[]);
+            scheduler.record_subdomain(i, *seconds, &[]);
         }
-        let breakdown = scheduler.finish();
-        self.stats.total_apply = self.stats.total_apply.then(breakdown);
-        self.stats.apply_count += k;
+        let breakdown = scheduler.finish_measured(wall);
+        self.stats.record_apply(breakdown, k);
         breakdown
     }
 
     fn stats(&self) -> DualOperatorStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 

@@ -13,11 +13,8 @@ use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
 use crate::schedule::TimeBreakdown;
 use feti_decompose::DecomposedProblem;
 use feti_sparse::{CsrMatrix, DenseMatrix};
-
-/// Host threads (OpenMP threads in the paper) assumed by the phase scheduler.
-pub const NUM_THREADS: usize = 16;
-/// CUDA streams per cluster assumed by the phase scheduler.
-pub const NUM_STREAMS: usize = 16;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Accumulated statistics of a dual operator over a run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,6 +25,50 @@ pub struct DualOperatorStats {
     pub total_apply: TimeBreakdown,
     /// Number of `apply` calls.
     pub apply_count: usize,
+}
+
+/// Thread-safe statistics accumulator shared by every operator implementation.
+///
+/// The subdomain loops now really run on several host threads, so the counters are
+/// recorded through `&self` with atomics (counts) and mutexes (time breakdowns)
+/// instead of `&mut` fields threaded through the parallel loop: concurrent recordings
+/// from any number of workers merge exactly, never losing an increment.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    preprocessing: Mutex<TimeBreakdown>,
+    total_apply: Mutex<TimeBreakdown>,
+    apply_count: AtomicUsize,
+}
+
+impl SharedStats {
+    /// Poison-tolerant lock: the guarded values are plain `Copy` bookkeeping, so a
+    /// panicked recorder cannot leave them in a torn state.
+    fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Replaces the preprocessing breakdown (the last `preprocess` call wins).
+    pub fn record_preprocessing(&self, t: TimeBreakdown) {
+        *Self::locked(&self.preprocessing) = t;
+    }
+
+    /// Accumulates one application phase covering `columns` right-hand sides.
+    pub fn record_apply(&self, t: TimeBreakdown, columns: usize) {
+        let mut total = Self::locked(&self.total_apply);
+        *total = total.then(t);
+        drop(total);
+        self.apply_count.fetch_add(columns, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> DualOperatorStats {
+        DualOperatorStats {
+            preprocessing: *Self::locked(&self.preprocessing),
+            total_apply: *Self::locked(&self.total_apply),
+            apply_count: self.apply_count.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The dual operator interface shared by all approaches of Table III.
@@ -232,6 +273,22 @@ mod tests {
             assert_eq!(op.approach(), approach);
             assert_eq!(op.num_lambdas(), problem.num_lambdas);
         }
+    }
+
+    #[test]
+    fn shared_stats_counts_are_exact_under_four_threads() {
+        use rayon::prelude::*;
+        let stats = SharedStats::default();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let recordings: Vec<usize> = (0..1000).collect();
+        let t = TimeBreakdown { cpu_seconds: 0.5, gpu_seconds: 0.25, total_seconds: 0.5 };
+        pool.install(|| {
+            recordings.par_iter().for_each(|_| stats.record_apply(t, 3));
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.apply_count, 3000, "no increment may be lost under contention");
+        assert!((snap.total_apply.cpu_seconds - 500.0).abs() < 1e-9);
+        assert!((snap.total_apply.gpu_seconds - 250.0).abs() < 1e-9);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use feti_decompose::DecomposedProblem;
 use feti_gpu::GpuSpec;
 use feti_solver::{CholeskyFactor, SolverOptions};
 use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, DenseMatrix, MemoryOrder, Transpose};
+use rayon::prelude::*;
 
 /// One load case for [`TotalFetiSolver::solve_many`]: one load vector per subdomain,
 /// each of the subdomain's DOF length.
@@ -112,9 +113,12 @@ impl<'a> TotalFetiSolver<'a> {
         options: PcpgOptions,
     ) -> Result<Self> {
         let solver_opts = SolverOptions::default();
+        // Independent factorizations on the host pool; the indexed collect keeps
+        // subdomain order and reports the lowest-index error, as a sequential loop
+        // would.
         let recovery_factors: Vec<CholeskyFactor> = problem
             .subdomains
-            .iter()
+            .par_iter()
             .map(|sd| CholeskyFactor::new(&sd.k_reg, &solver_opts).map_err(FetiError::from))
             .collect::<Result<Vec<_>>>()?;
 
@@ -173,15 +177,26 @@ impl<'a> TotalFetiSolver<'a> {
         if !self.options.use_preconditioner {
             return w.to_vec();
         }
+        // Per-subdomain halves run in parallel; the gather into the shared dual
+        // vector stays sequential in subdomain order so the floating-point sums are
+        // independent of the thread count.
+        let locals: Vec<Vec<f64>> = self
+            .problem
+            .subdomains
+            .par_iter()
+            .map(|sd| {
+                let w_local: Vec<f64> = sd.lambda_map.iter().map(|&g| w[g]).collect();
+                let mut t = vec![0.0; sd.num_dofs()];
+                ops::spmv_csr(1.0, &sd.gluing, Transpose::Yes, &w_local, 0.0, &mut t);
+                let mut kt = vec![0.0; sd.num_dofs()];
+                ops::spmv_csr(1.0, &sd.assembled.stiffness, Transpose::No, &t, 0.0, &mut kt);
+                let mut q_local = vec![0.0; sd.gluing.nrows()];
+                ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &kt, 0.0, &mut q_local);
+                q_local
+            })
+            .collect();
         let mut out = vec![0.0; w.len()];
-        for sd in &self.problem.subdomains {
-            let w_local: Vec<f64> = sd.lambda_map.iter().map(|&g| w[g]).collect();
-            let mut t = vec![0.0; sd.num_dofs()];
-            ops::spmv_csr(1.0, &sd.gluing, Transpose::Yes, &w_local, 0.0, &mut t);
-            let mut kt = vec![0.0; sd.num_dofs()];
-            ops::spmv_csr(1.0, &sd.assembled.stiffness, Transpose::No, &t, 0.0, &mut kt);
-            let mut q_local = vec![0.0; sd.gluing.nrows()];
-            ops::spmv_csr(1.0, &sd.gluing, Transpose::No, &kt, 0.0, &mut q_local);
+        for (sd, q_local) in self.problem.subdomains.iter().zip(&locals) {
             for (local, &g) in sd.lambda_map.iter().enumerate() {
                 out[g] += q_local[local];
             }
@@ -239,28 +254,40 @@ impl<'a> TotalFetiSolver<'a> {
     }
 
     /// Recovers the per-subdomain primal solutions `uᵢ = K⁺(fᵢ - B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ`.
+    ///
+    /// Each subdomain's recovery is independent, so the zip of subdomains, factors
+    /// and loads is bridged onto the host pool; the sort restores subdomain order for
+    /// real rayon, whose `par_bridge` loses it.
     fn recover_subdomains(
         &self,
         lambda: &[f64],
         alpha: &[f64],
         loads: &[Vec<f64>],
     ) -> Vec<Vec<f64>> {
-        let mut out = Vec::with_capacity(self.problem.subdomains.len());
-        for (s, ((sd, factor), f)) in
-            self.problem.subdomains.iter().zip(&self.recovery_factors).zip(loads).enumerate()
-        {
-            let lambda_local: Vec<f64> = sd.lambda_map.iter().map(|&g| lambda[g]).collect();
-            let mut rhs = f.clone();
-            ops::spmv_csr(-1.0, &sd.gluing, Transpose::Yes, &lambda_local, 1.0, &mut rhs);
-            let mut u = factor.solve(&rhs);
-            for c in 0..self.kernel_dim {
-                let a = alpha[s * self.kernel_dim + c];
-                let r_col = sd.kernel.col(c);
-                blas::axpy(a, &r_col, &mut u);
-            }
-            out.push(u);
-        }
-        out
+        let kernel_dim = self.kernel_dim;
+        let mut indexed: Vec<(usize, Vec<f64>)> = self
+            .problem
+            .subdomains
+            .iter()
+            .zip(&self.recovery_factors)
+            .zip(loads)
+            .enumerate()
+            .par_bridge()
+            .map(|(s, ((sd, factor), f))| {
+                let lambda_local: Vec<f64> = sd.lambda_map.iter().map(|&g| lambda[g]).collect();
+                let mut rhs = f.clone();
+                ops::spmv_csr(-1.0, &sd.gluing, Transpose::Yes, &lambda_local, 1.0, &mut rhs);
+                let mut u = factor.solve(&rhs);
+                for c in 0..kernel_dim {
+                    let a = alpha[s * kernel_dim + c];
+                    let r_col = sd.kernel.col(c);
+                    blas::axpy(a, &r_col, &mut u);
+                }
+                (s, u)
+            })
+            .collect();
+        indexed.sort_by_key(|(s, _)| *s);
+        indexed.into_iter().map(|(_, u)| u).collect()
     }
 
     /// Runs FETI preprocessing and the PCPG iteration (Algorithm 1), then recovers the

@@ -33,6 +33,17 @@ pub use params::{
 pub use planner::{HostSpec, Plan, PlanCandidate, Planner};
 pub use schedule::{PhaseScheduler, TimeBreakdown};
 
+/// Number of host worker threads the parallel subdomain loops currently use.
+///
+/// This is the live rayon configuration: the `FETI_THREADS` environment variable (or
+/// the machine's available parallelism) by default, or whatever thread count an
+/// enclosing `rayon::ThreadPool::install` pinned.  The paper's runs use 16 OpenMP
+/// threads per cluster; the reproduction follows the host it runs on.
+#[must_use]
+pub fn host_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Errors reported by the FETI machinery.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FetiError {

@@ -1,18 +1,28 @@
 //! Phase scheduling: combining measured CPU time with modelled GPU time under the
-//! paper's execution model (parallel subdomain loop, one CUDA stream per thread,
+//! paper's execution model (parallel subdomain loop, one CUDA stream per host thread,
 //! asynchronous submission, a single synchronization at the end of the phase).
+//!
+//! Determinism under the real multithreaded runtime: subdomains are *recorded* in
+//! subdomain-index order after the parallel region joins, and subdomain `i` is always
+//! attributed to modelled worker `i % num_threads` (whose stream is keyed by that
+//! worker), so the modelled device timeline — and with it `gpu_seconds` and the
+//! overlapped `total_seconds` — is a pure function of the per-subdomain inputs,
+//! independent of which OS thread actually executed which subdomain or in what order
+//! they completed.
 
 use feti_gpu::{DeviceTimeline, GpuCost};
 
 /// Wall-clock budget of one phase split into its CPU and GPU parts.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TimeBreakdown {
-    /// Measured host time (seconds).
+    /// Host wall time of the phase (seconds): the measured wall time of the parallel
+    /// subdomain region when the phase really ran, or the modelled makespan over the
+    /// host workers for an a-priori estimate.  **Not** a sum over threads.
     pub cpu_seconds: f64,
-    /// Modelled device time (seconds), already accounting for stream concurrency.
+    /// Modelled device busy time (seconds), summed over streams.
     pub gpu_seconds: f64,
     /// Phase wall time under the overlapped schedule (host work hides device work of
-    /// previously submitted subdomains); always `>= max(cpu, gpu part not hidden)`.
+    /// previously submitted subdomains); always `>= max(cpu part, unhidden gpu part)`.
     pub total_seconds: f64,
 }
 
@@ -47,10 +57,11 @@ impl TimeBreakdown {
 
 /// Schedules one phase of Algorithm 2: a parallel loop over subdomains where each
 /// subdomain performs CPU work (factorization, conversions, submissions) and then
-/// enqueues GPU operations on its stream.
+/// enqueues GPU operations on its worker's stream.
 ///
-/// Subdomain `i` is handled by thread `i % num_threads` and stream `i % num_streams`
-/// (the paper uses 16 threads and 16 streams).  The phase ends with one device
+/// Subdomain `i` is handled by modelled worker `i % num_threads`, and each worker owns
+/// stream `worker % num_streams` — one CUDA stream per host thread, as in the paper
+/// (which uses 16 threads and 16 streams).  The phase ends with one device
 /// synchronization.
 #[derive(Debug)]
 pub struct PhaseScheduler {
@@ -73,6 +84,14 @@ impl PhaseScheduler {
         }
     }
 
+    /// A scheduler matching the live host runtime: one modelled worker and one stream
+    /// per actual worker thread of the current parallel configuration.
+    #[must_use]
+    pub fn for_host() -> Self {
+        let threads = crate::host_threads();
+        Self::new(threads, threads)
+    }
+
     /// Default configuration matching the paper's node share: 16 OpenMP threads and 16
     /// CUDA streams per cluster.
     #[must_use]
@@ -81,30 +100,63 @@ impl PhaseScheduler {
     }
 
     /// Records the work of one subdomain: `cpu_seconds` of host work followed by the
-    /// asynchronous submission of `gpu_ops` to the subdomain's stream.
+    /// asynchronous submission of `gpu_ops` to the worker's stream.
+    ///
+    /// Callers under the parallel runtime must invoke this in subdomain-index order
+    /// (after the parallel region joins) so the modelled timeline stays deterministic.
     pub fn record_subdomain(&mut self, subdomain: usize, cpu_seconds: f64, gpu_ops: &[GpuCost]) {
-        let t = subdomain % self.thread_cpu.len();
-        self.thread_cpu[t] += cpu_seconds;
+        let worker = subdomain % self.thread_cpu.len();
+        self.thread_cpu[worker] += cpu_seconds;
         self.total_cpu += cpu_seconds;
-        let ready = self.thread_cpu[t];
-        let stream = subdomain % self.timeline.num_streams();
+        let ready = self.thread_cpu[worker];
+        let stream = worker % self.timeline.num_streams();
         for op in gpu_ops {
             self.timeline.submit(stream, ready, op);
             self.total_gpu_busy += op.seconds;
         }
     }
 
-    /// Ends the phase: the host reaches the synchronization point once every thread has
-    /// finished its CPU work, and the phase completes when the device drains.
+    /// The modelled host makespan: the largest per-worker CPU accumulation.
+    #[must_use]
+    fn modelled_host_wall(&self) -> f64 {
+        self.thread_cpu.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Ends an *estimated* phase: the host reaches the synchronization point at the
+    /// modelled makespan over the workers, and the phase completes when the device
+    /// drains.  `cpu_seconds` is that modelled host makespan.
     #[must_use]
     pub fn finish(&self) -> TimeBreakdown {
-        let host_done = self.thread_cpu.iter().copied().fold(0.0, f64::max);
-        let total = self.timeline.synchronize(host_done);
+        self.finish_with_host_wall(self.modelled_host_wall())
+    }
+
+    /// Ends an *executed* phase whose parallel region took `measured_wall` seconds of
+    /// real wall time: `cpu_seconds` reports the measured wall (not a per-thread sum),
+    /// and the host reaches the synchronization point at that measured wall.  GPU
+    /// ready times keep using the deterministic per-worker model so the device part
+    /// of the breakdown is schedule-independent; the measured wall is **not** maxed
+    /// with the modelled `i % threads` packing, which the real work-stealing pool can
+    /// legitimately beat — a CPU-only phase must never report a total above what was
+    /// actually measured.
+    #[must_use]
+    pub fn finish_measured(&self, measured_wall: f64) -> TimeBreakdown {
+        self.finish_with_host_wall(measured_wall)
+    }
+
+    fn finish_with_host_wall(&self, host_wall: f64) -> TimeBreakdown {
+        let total = self.timeline.synchronize(host_wall);
         TimeBreakdown {
-            cpu_seconds: self.total_cpu,
+            cpu_seconds: host_wall,
             gpu_seconds: self.total_gpu_busy,
             total_seconds: total,
         }
+    }
+
+    /// Sum of the recorded per-subdomain CPU seconds (per-subdomain accounting for
+    /// benchmarks; the phase's `cpu_seconds` is a wall time, not this sum).
+    #[must_use]
+    pub fn cpu_work_seconds(&self) -> f64 {
+        self.total_cpu
     }
 }
 
@@ -117,13 +169,48 @@ mod tests {
     }
 
     #[test]
-    fn cpu_only_phase() {
+    fn cpu_only_phase_reports_the_parallel_makespan() {
         let mut s = PhaseScheduler::new(2, 2);
         s.record_subdomain(0, 1.0, &[]);
         s.record_subdomain(1, 2.0, &[]);
         let t = s.finish();
         assert!((t.total_seconds - 2.0).abs() < 1e-12, "threads run in parallel");
-        assert!((t.cpu_seconds - 3.0).abs() < 1e-12);
+        assert!((t.cpu_seconds - 2.0).abs() < 1e-12, "cpu_seconds is the makespan, not the sum");
+        assert!((s.cpu_work_seconds() - 3.0).abs() < 1e-12, "per-subdomain work still summed");
+    }
+
+    #[test]
+    fn measured_wall_overrides_the_modelled_makespan() {
+        let mut s = PhaseScheduler::new(2, 2);
+        s.record_subdomain(0, 1.0, &[]);
+        s.record_subdomain(1, 1.0, &[]);
+        // The region really took 1.6 s of wall time (imperfect speedup).
+        let t = s.finish_measured(1.6);
+        assert!((t.cpu_seconds - 1.6).abs() < 1e-12);
+        assert!((t.total_seconds - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_wall_below_the_modelled_packing_is_trusted() {
+        // The modelled `i % threads` packing puts 1.0 + 2.0 on one worker (makespan
+        // 3.0), but the real work-stealing pool balanced the region into 1.8 s of
+        // wall time.  A CPU-only phase must report what was measured, never more.
+        let mut s = PhaseScheduler::new(1, 1);
+        s.record_subdomain(0, 1.0, &[]);
+        s.record_subdomain(1, 2.0, &[]);
+        let t = s.finish_measured(1.8);
+        assert!((t.cpu_seconds - 1.8).abs() < 1e-12);
+        assert!((t.total_seconds - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_drain_extends_past_the_measured_wall() {
+        let mut s = PhaseScheduler::new(1, 1);
+        s.record_subdomain(0, 1.0, &[gpu(2.0)]);
+        let t = s.finish_measured(1.2);
+        // GPU work becomes ready at the modelled 1.0, runs 2.0 → drains at 3.0.
+        assert!((t.total_seconds - 3.0).abs() < 1e-12, "got {}", t.total_seconds);
+        assert!((t.cpu_seconds - 1.2).abs() < 1e-12);
     }
 
     #[test]
@@ -148,6 +235,38 @@ mod tests {
             parallel.record_subdomain(i, 0.0, &[gpu(1.0)]);
         }
         assert!(serial.finish().total_seconds > parallel.finish().total_seconds * 2.0);
+    }
+
+    #[test]
+    fn streams_are_keyed_by_worker() {
+        // 2 workers, 2 streams, 4 subdomains: subdomains 0 and 2 share worker 0 and
+        // therefore stream 0; their GPU ops serialize, while worker 1's overlap.
+        let mut s = PhaseScheduler::new(2, 2);
+        for i in 0..4 {
+            s.record_subdomain(i, 0.0, &[gpu(1.0)]);
+        }
+        let t = s.finish();
+        assert!((t.total_seconds - 2.0).abs() < 1e-12, "two streams, two ops each");
+        assert!((t.gpu_seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_order_is_the_only_input_that_matters() {
+        // Two schedulers fed the same per-subdomain data in subdomain-index order
+        // produce bit-identical breakdowns — the determinism contract the parallel
+        // backends rely on after joining their region.
+        let data = [(0usize, 0.5, 1.0), (1, 0.25, 2.0), (2, 0.75, 0.5), (3, 0.1, 0.9)];
+        let run = || {
+            let mut s = PhaseScheduler::new(2, 2);
+            for (i, cpu, g) in data {
+                s.record_subdomain(i, cpu, &[gpu(g)]);
+            }
+            s.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        assert_eq!(a.gpu_seconds.to_bits(), b.gpu_seconds.to_bits());
     }
 
     #[test]

@@ -6,9 +6,19 @@
 //! duration of one kernel are served from the pool, and a thread that cannot be served
 //! blocks until other threads release enough memory.  This module reproduces that
 //! allocator (sizes are tracked logically; no real device memory exists).
+//!
+//! With the real multithreaded host runtime the pool is contended by several worker
+//! threads at once, so blocking is **FIFO-fair**: requests that cannot be served
+//! immediately join a ticket queue and are granted strictly in arrival order.  A small
+//! request arriving behind a large blocked one waits its turn instead of barging past
+//! it, which bounds every waiter's delay and prevents starvation of large requests.
+//! Requests larger than the whole pool fail fast with an error — they could never be
+//! served and must not deadlock the queue.
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 /// Errors reported by the memory manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +92,16 @@ struct PoolInner {
     in_use: usize,
     peak: usize,
     pool_size: usize,
+    /// Tickets of requests waiting for memory, in arrival (grant) order.
+    waiters: VecDeque<u64>,
+    /// Next ticket to hand out.
+    next_ticket: u64,
+    /// Live allocations per thread.  A thread that already holds an allocation may
+    /// bypass the FIFO queue when its next request fits: queueing it behind a waiter
+    /// that can only be served after *this thread* releases would be a circular wait
+    /// (the hold-and-wait pattern of the assembly kernels' nested rhs + workspace
+    /// allocations).
+    holders: HashMap<ThreadId, usize>,
 }
 
 impl MemoryManager {
@@ -93,7 +113,14 @@ impl MemoryManager {
             persistent: 0,
             pool_size: 0,
             pool_state: Arc::new(PoolState {
-                inner: Mutex::new(PoolInner { in_use: 0, peak: 0, pool_size: 0 }),
+                inner: Mutex::new(PoolInner {
+                    in_use: 0,
+                    peak: 0,
+                    pool_size: 0,
+                    waiters: VecDeque::new(),
+                    next_ticket: 0,
+                    holders: HashMap::new(),
+                }),
                 freed: Condvar::new(),
             }),
         }
@@ -126,8 +153,20 @@ impl MemoryManager {
 
     /// Allocates `bytes` from the temporary pool, blocking while the pool is full.
     ///
+    /// Blocked requests are served **FIFO**: a request that cannot be granted
+    /// immediately takes a ticket and is woken only when it is at the head of the
+    /// queue *and* enough memory is free, so later (even smaller) requests cannot
+    /// starve it.  A first request arriving while others wait queues behind them,
+    /// with one deliberate exception: a thread that **already holds** an allocation
+    /// bypasses the queue when its next request fits.  Queueing such a nested
+    /// request behind a waiter that can only be served once *this thread* releases
+    /// would be a circular wait — the assembly kernels allocate a right-hand-side
+    /// buffer and then a solver workspace while still holding the first guard.
+    ///
     /// # Errors
-    /// Returns [`MemoryError::LargerThanPool`] if the request exceeds the pool size.
+    /// Returns [`MemoryError::LargerThanPool`] if the request exceeds the pool size —
+    /// such a request could never be served, so it fails fast instead of deadlocking
+    /// itself and every request queued behind it.
     pub fn alloc_temporary(
         manager: &Mutex<MemoryManager>,
         bytes: usize,
@@ -136,17 +175,43 @@ impl MemoryManager {
             let m = manager.lock();
             Arc::clone(&m.pool_state)
         };
+        let me = std::thread::current().id();
         let mut inner = pool_state.inner.lock();
         if bytes > inner.pool_size {
             return Err(MemoryError::LargerThanPool { requested: bytes, pool: inner.pool_size });
         }
-        while inner.in_use + bytes > inner.pool_size {
+        let may_barge = inner.waiters.is_empty() || inner.holders.contains_key(&me);
+        if may_barge && inner.in_use + bytes <= inner.pool_size {
+            // Fast path: the request fits and either nobody is waiting or this
+            // thread already holds memory (deadlock-avoidance barging, see above).
+            return Ok(Self::grant(&pool_state, inner, me, bytes));
+        }
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.waiters.push_back(ticket);
+        while inner.waiters.front() != Some(&ticket) || inner.in_use + bytes > inner.pool_size {
             pool_state.freed.wait(&mut inner);
         }
+        let head = inner.waiters.pop_front();
+        debug_assert_eq!(head, Some(ticket));
+        let alloc = Self::grant(&pool_state, inner, me, bytes);
+        // The next queued request may also fit in what is still free.
+        pool_state.freed.notify_all();
+        Ok(alloc)
+    }
+
+    /// Books `bytes` to the calling thread and builds the RAII guard.
+    fn grant(
+        pool_state: &Arc<PoolState>,
+        mut inner: parking_lot::MutexGuard<'_, PoolInner>,
+        me: ThreadId,
+        bytes: usize,
+    ) -> TempAlloc {
         inner.in_use += bytes;
         inner.peak = inner.peak.max(inner.in_use);
+        *inner.holders.entry(me).or_insert(0) += 1;
         drop(inner);
-        Ok(TempAlloc { bytes, pool: pool_state })
+        TempAlloc { bytes, holder: me, pool: Arc::clone(pool_state) }
     }
 
     /// Current statistics.
@@ -168,6 +233,7 @@ impl MemoryManager {
 #[derive(Debug)]
 pub struct TempAlloc {
     bytes: usize,
+    holder: ThreadId,
     pool: Arc<PoolState>,
 }
 
@@ -183,6 +249,12 @@ impl Drop for TempAlloc {
     fn drop(&mut self) {
         let mut inner = self.pool.inner.lock();
         inner.in_use = inner.in_use.saturating_sub(self.bytes);
+        if let Some(count) = inner.holders.get_mut(&self.holder) {
+            *count -= 1;
+            if *count == 0 {
+                inner.holders.remove(&self.holder);
+            }
+        }
         drop(inner);
         self.pool.freed.notify_all();
     }
@@ -255,6 +327,148 @@ mod tests {
         assert!(!handle.is_finished(), "allocation should be blocked while the pool is full");
         drop(first);
         assert!(handle.join().unwrap());
+    }
+
+    /// N threads race allocations against a pool that can hold only N/2 of them at
+    /// once: the run must make progress (watchdog), every allocation must eventually
+    /// be served, and accounting must return to zero.
+    #[test]
+    fn stress_n_threads_against_half_sized_pool() {
+        const N: usize = 8;
+        const ROUNDS: usize = 25;
+        const BYTES: usize = 100;
+        let mut m = MemoryManager::new((N / 2) * BYTES);
+        m.reserve_temporary_pool();
+        let m = std::sync::Arc::new(Mutex::new(m));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let m_stress = std::sync::Arc::clone(&m);
+        let driver = std::thread::spawn(move || {
+            let served = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for t in 0..N {
+                let m = std::sync::Arc::clone(&m_stress);
+                let served = std::sync::Arc::clone(&served);
+                handles.push(std::thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        let a = MemoryManager::alloc_temporary(&m, BYTES).unwrap();
+                        assert_eq!(a.bytes(), BYTES);
+                        // Hold briefly so the pool really saturates.
+                        if (t + r) % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            served.load(std::sync::atomic::Ordering::Relaxed)
+        });
+        // Watchdog: a deadlocked pool must fail the test, not hang the suite.
+        std::thread::spawn(move || {
+            let _ = done_tx.send(driver.join());
+        });
+        let served = done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("temporary pool deadlocked: no progress within the watchdog timeout")
+            .expect("a stress worker panicked");
+        assert_eq!(served, N * ROUNDS, "every allocation must be served exactly once");
+        let s = m.lock().stats();
+        assert_eq!(s.temporary_in_use_bytes, 0, "all allocations returned to the pool");
+        assert!(s.temporary_peak_bytes <= (N / 2) * BYTES, "pool capacity never exceeded");
+    }
+
+    /// A release must wake blocked requests, and grants must follow FIFO order: a
+    /// small request that arrives while a larger one is queued may not barge past it.
+    #[test]
+    fn release_wakes_blocked_in_fifo_order() {
+        let mut m = MemoryManager::new(100);
+        m.reserve_temporary_pool();
+        let m = std::sync::Arc::new(Mutex::new(m));
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let first = MemoryManager::alloc_temporary(&m, 80).unwrap();
+        // B: blocked large request (60 > 20 free), queued first.
+        let (m_b, order_b) = (std::sync::Arc::clone(&m), std::sync::Arc::clone(&order));
+        let b = std::thread::spawn(move || {
+            let a = MemoryManager::alloc_temporary(&m_b, 60).unwrap();
+            order_b.lock().push("large");
+            a
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // C: small request that *would* fit right now (80 + 10 ≤ 100) but must queue
+        // behind the blocked large request.
+        let (m_c, order_c) = (std::sync::Arc::clone(&m), std::sync::Arc::clone(&order));
+        let c = std::thread::spawn(move || {
+            let a = MemoryManager::alloc_temporary(&m_c, 10).unwrap();
+            order_c.lock().push("small");
+            a
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(order.lock().is_empty(), "both requests must be blocked while 80 is held");
+        drop(first);
+        let b_alloc = b.join().unwrap();
+        let c_alloc = c.join().unwrap();
+        assert_eq!(*order.lock(), vec!["large", "small"], "grants must follow arrival order");
+        drop(b_alloc);
+        drop(c_alloc);
+        assert_eq!(m.lock().stats().temporary_in_use_bytes, 0);
+    }
+
+    /// Regression test for the nested-allocation deadlock: a thread already holding
+    /// memory must be allowed to barge past the FIFO queue when its second request
+    /// fits.  With strict FIFO, A (holding 40, requesting 10 more) would queue behind
+    /// B (waiting for 40 that only A's release can free) — a circular wait.
+    #[test]
+    fn holder_may_barge_past_the_queue_instead_of_deadlocking() {
+        let mut m = MemoryManager::new(100);
+        m.reserve_temporary_pool();
+        let m = std::sync::Arc::new(Mutex::new(m));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            let a_first = MemoryManager::alloc_temporary(&m2, 40).unwrap();
+            // B holds 40 and requests 40 more: blocked (80 + 40 > 100), queued.
+            let m3 = std::sync::Arc::clone(&m2);
+            let b = std::thread::spawn(move || {
+                let b_first = MemoryManager::alloc_temporary(&m3, 40).unwrap();
+                let b_second = MemoryManager::alloc_temporary(&m3, 40).unwrap();
+                drop(b_first);
+                drop(b_second);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            // A's nested request fits (80 + 10 ≤ 100) and A is a holder: it must be
+            // granted despite B's queued ticket, then A's releases unblock B.
+            let a_second = MemoryManager::alloc_temporary(&m2, 10).unwrap();
+            drop(a_second);
+            drop(a_first);
+            b.join().unwrap();
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(20))
+            .expect("nested allocations deadlocked: holders must barge past the FIFO queue");
+        assert_eq!(m.lock().stats().temporary_in_use_bytes, 0);
+    }
+
+    /// An oversized request fails fast with an error even while the pool is contended
+    /// and other requests are queued — it must never hang itself or the queue.
+    #[test]
+    fn oversized_request_errors_while_pool_is_contended() {
+        let mut m = MemoryManager::new(100);
+        m.reserve_temporary_pool();
+        let m = std::sync::Arc::new(Mutex::new(m));
+        let held = MemoryManager::alloc_temporary(&m, 90).unwrap();
+        let m2 = std::sync::Arc::clone(&m);
+        let blocked = std::thread::spawn(move || MemoryManager::alloc_temporary(&m2, 50).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        // The queue is non-empty and the pool nearly full: the oversized request must
+        // still return an error immediately rather than queueing forever.
+        let err = MemoryManager::alloc_temporary(&m, 101).unwrap_err();
+        assert!(matches!(err, MemoryError::LargerThanPool { requested: 101, pool: 100 }));
+        drop(held);
+        let late = blocked.join().unwrap();
+        assert_eq!(late.bytes(), 50);
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! [`DeviceTimeline`] reproduces that scheduling logic on virtual time: an operation
 //! submitted at host time `t` to stream `s` starts at `max(t, stream_end[s])`, and a
 //! device synchronization at host time `t` completes at `max(t, max_s stream_end[s])`.
+//!
+//! Under the real multithreaded host runtime, streams are keyed by the *worker* that
+//! submits (one stream per host thread, as in the paper).  Determinism today comes
+//! from the scheduler recording subdomains in index order into a single timeline
+//! after the parallel region joins; [`DeviceTimeline::merge`] additionally offers a
+//! commutative, associative reduction of independently built per-worker (or
+//! per-device) timelines, for callers — such as future multi-device sharding — that
+//! cannot funnel submissions through one recorder.
 
 use crate::cost::GpuCost;
 
@@ -93,6 +101,31 @@ impl DeviceTimeline {
     pub fn total_busy(&self) -> f64 {
         self.streams.iter().map(StreamTimeline::busy_time).sum()
     }
+
+    /// Reduces another device view into this one, stream by stream: each stream's end
+    /// time becomes the max of the two, busy times and operation counts add.
+    ///
+    /// The reduction is commutative and associative, so folding any number of
+    /// independently built timelines yields the same makespan regardless of the
+    /// order in which their owners complete.  The phase scheduler does not need this
+    /// (it records into one timeline in subdomain-index order after the parallel
+    /// region joins); it exists for callers that cannot funnel submissions through a
+    /// single recorder, e.g. per-device timelines in a future sharding layer.
+    ///
+    /// # Panics
+    /// Panics if the stream counts differ.
+    pub fn merge(&mut self, other: &DeviceTimeline) {
+        assert_eq!(
+            self.streams.len(),
+            other.streams.len(),
+            "merged timelines must agree on the stream count"
+        );
+        for (s, o) in self.streams.iter_mut().zip(&other.streams) {
+            s.end = s.end.max(o.end);
+            s.busy += o.busy;
+            s.ops += o.ops;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +164,30 @@ mod tests {
         d.submit(2, 0.0, &cost(0.25));
         assert!((d.synchronize(3.0) - 3.0).abs() < 1e-12);
         assert_eq!(d.num_streams(), 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = DeviceTimeline::new(2);
+        a.submit(0, 0.0, &cost(1.0));
+        a.submit(1, 0.5, &cost(2.0));
+        let mut b = DeviceTimeline::new(2);
+        b.submit(0, 1.0, &cost(3.0));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.synchronize(0.0).to_bits(), ba.synchronize(0.0).to_bits());
+        assert_eq!(ab.total_busy().to_bits(), ba.total_busy().to_bits());
+        assert!((ab.synchronize(0.0) - 4.0).abs() < 1e-12);
+        assert!((ab.total_busy() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream count")]
+    fn merge_rejects_mismatched_stream_counts() {
+        let mut a = DeviceTimeline::new(2);
+        a.merge(&DeviceTimeline::new(3));
     }
 
     #[test]

@@ -1,56 +1,590 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate with **real** host parallelism.
 //!
 //! The build environment has no access to crates.io, so this workspace shim provides
-//! the small slice of rayon's API the repo uses (`par_iter` on slices and vectors,
-//! combined with arbitrary `Iterator` adapters).  Execution is **sequential**: the
-//! "parallel" iterators are the ordinary `std` iterators, which keeps every numeric
-//! result bit-identical to a real rayon run while dropping only the host-side
-//! speedup.  `DESIGN.md` (§ "Host parallelism") records this substitution; swapping
-//! the real rayon back in requires only deleting this shim from the workspace.
+//! the slice of rayon's API the repo uses — `par_iter` / `par_iter_mut` on slices and
+//! vectors, `par_bridge` on serial iterators, and the `map` / `zip` / `for_each` /
+//! `collect` adapters — executed on a real work-stealing pool of scoped `std::thread`
+//! workers.  Unlike the sequential shim it replaces, parallel regions genuinely run on
+//! several host threads:
+//!
+//! * the worker count defaults to [`std::thread::available_parallelism`] and can be
+//!   pinned with the `FETI_THREADS` environment variable (read once per process);
+//! * [`ThreadPool::install`] mirrors rayon's API for running a closure under an
+//!   explicit thread count (used by the parallel-vs-sequential conformance suite);
+//! * work is chunked and distributed over per-worker deques; idle workers steal whole
+//!   chunks from the back of other workers' deques;
+//! * every combinator is *indexed*: item `i` of the result is always produced from
+//!   item `i` of the input, and `collect` writes each result into slot `i` of the
+//!   output buffer, so results are **bit-for-bit identical** to a sequential run
+//!   regardless of the thread count or the stealing order.  `collect::<Result<…>>`
+//!   reports the lowest-index error, matching what a sequential run would return.
+//!
+//! `DESIGN.md` (§ "Host parallelism") records this substitution; swapping the real
+//! rayon back in requires only deleting this shim from the workspace.
 
 #![warn(missing_docs)]
 
-/// The rayon prelude: traits that put `par_iter` in scope.
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::{Mutex, OnceLock};
+
+/// The rayon prelude: traits that put `par_iter`, `par_iter_mut` and `par_bridge` in
+/// scope.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelBridge,
+        ParallelIterator,
+    };
 }
 
-/// Types that can produce a "parallel" iterator over shared references.
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+/// The process-wide default worker count: `FETI_THREADS` if set to a positive
+/// integer, otherwise the available hardware parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FETI_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel regions started from this thread will use.
 ///
-/// Mirrors `rayon::iter::IntoParallelRefIterator`, but the returned iterator is the
-/// sequential `std::slice::Iter`, so every standard `Iterator` adapter (`map`, `zip`,
-/// `collect`, …) works unchanged.
+/// Mirrors `rayon::current_num_threads`: the innermost [`ThreadPool::install`] wins,
+/// otherwise the process default (`FETI_THREADS` or the available parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(default_threads)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (mirrors rayon's opaque error).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build the thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 keeps the process default).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A handle fixing the worker count of the parallel regions run inside
+/// [`ThreadPool::install`].
+///
+/// Workers are scoped `std::thread`s spawned per parallel region (not persistent OS
+/// threads), so a `ThreadPool` is merely configuration — cheap to create and drop.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count parallel regions inside [`ThreadPool::install`] will use.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel region
+    /// entered from the calling thread, restoring the previous configuration on exit
+    /// (also on panic).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let previous = THREAD_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing driver
+// ---------------------------------------------------------------------------
+
+/// How many chunks each worker's deque starts with: small enough to keep per-chunk
+/// overhead negligible, large enough that stealing can rebalance uneven item costs.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Splits `0..n` into contiguous chunks and deals them round-robin onto one deque per
+/// worker.
+fn build_queues(n: usize, workers: usize) -> Vec<Mutex<VecDeque<Range<usize>>>> {
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut start = 0;
+    let mut q = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        queues[q % workers].lock().expect("queue lock").push_back(start..end);
+        start = end;
+        q += 1;
+    }
+    queues
+}
+
+/// One worker: drain the own deque front-to-back, then steal whole chunks from the
+/// back of the other workers' deques until everything is empty.
+fn worker_loop(w: usize, queues: &[Mutex<VecDeque<Range<usize>>>], task: &(impl Fn(usize) + Sync)) {
+    let nq = queues.len();
+    loop {
+        // The own-queue guard must drop before stealing: holding it while trying to
+        // lock another worker's queue (which may simultaneously be stealing from this
+        // one) would be a circular wait.
+        let own = queues[w].lock().expect("queue lock").pop_front();
+        let chunk = match own {
+            Some(range) => Some(range),
+            None => {
+                (1..nq).find_map(|k| queues[(w + k) % nq].lock().expect("queue lock").pop_back())
+            }
+        };
+        match chunk {
+            Some(range) => {
+                for i in range {
+                    task(i);
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Runs `task(i)` for every `i` in `0..n`, using the calling thread plus scoped
+/// worker threads.  Each index is executed exactly once; no ordering is guaranteed
+/// between indices (callers that need ordering must write into indexed slots).
+///
+/// Workers inherit the caller's effective thread count (mirroring real rayon, where
+/// `install` closures run *inside* the pool): a nested parallel region or
+/// `current_num_threads()` call from task code sees the same pinned count on every
+/// worker, not the process default.
+fn run_indexed(n: usize, task: impl Fn(usize) + Sync) {
+    let configured = current_num_threads();
+    let workers = configured.min(n);
+    if workers <= 1 {
+        for i in 0..n {
+            task(i);
+        }
+        return;
+    }
+    let queues = build_queues(n, workers);
+    let queues = &queues;
+    let task = &task;
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            s.spawn(move || {
+                let previous = THREAD_OVERRIDE.with(|o| o.replace(Some(configured)));
+                worker_loop(w, queues, task);
+                THREAD_OVERRIDE.with(|o| o.set(previous));
+            });
+        }
+        worker_loop(0, queues, task);
+    });
+}
+
+/// Shared write-once output buffer for `collect`: slot `i` is written by whichever
+/// worker claims index `i`.
+struct SharedOut<T> {
+    ptr: *mut MaybeUninit<T>,
+}
+
+// SAFETY: every index is claimed exactly once by the chunk queues, so no two threads
+// ever write the same slot, and the buffer outlives the scope that writes it.
+unsafe impl<T: Send> Sync for SharedOut<T> {}
+
+impl<T> SharedOut<T> {
+    /// # Safety
+    /// `i` must be in bounds and written at most once.
+    unsafe fn write(&self, i: usize, value: T) {
+        (*self.ptr.add(i)).write(value);
+    }
+}
+
+/// Parallel map of an indexed producer into a `Vec`, preserving index order.
+fn drive_collect_vec<P: Producer>(p: P) -> Vec<P::Item> {
+    let n = p.len();
+    let mut storage: Vec<MaybeUninit<P::Item>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let out = SharedOut { ptr: storage.as_mut_ptr() };
+    let out = &out;
+    run_indexed(n, |i| {
+        // SAFETY: the driver claims every index in 0..n exactly once, which is both
+        // the produce contract and the write-once contract of SharedOut.
+        unsafe {
+            let item = p.produce(i);
+            out.write(i, item);
+        }
+    });
+    // SAFETY: all n slots were initialized above (run_indexed covers every index; a
+    // worker panic propagates out of run_indexed before reaching this point).
+    unsafe {
+        let ptr = storage.as_mut_ptr().cast::<P::Item>();
+        let len = storage.len();
+        let cap = storage.capacity();
+        std::mem::forget(storage);
+        Vec::from_raw_parts(ptr, len, cap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed producers (the internal engine behind every combinator)
+// ---------------------------------------------------------------------------
+
+/// An indexed source of items: the engine behind every parallel iterator here.
+///
+/// Implementation detail of the shim (public because the [`ParallelIterator`] blanket
+/// impl is bounded on it); user code should stick to the rayon-compatible surface.
+#[doc(hidden)]
+#[allow(clippy::len_without_is_empty)] // internal driver trait; emptiness is never queried
+pub trait Producer: Sync + Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Produces the item at index `i`.
+    ///
+    /// # Safety
+    /// `i` must be in `0..len()` and each index must be produced **at most once** per
+    /// producer: implementations hand out disjoint `&mut` references
+    /// ([`SliceIterMut`]) or move items out of take-once slots ([`IterBridge`]), so a
+    /// second call with the same index would alias a `&mut` or race the take.  Only
+    /// the chunk-queue driver (which claims every index exactly once) may call this.
+    unsafe fn produce(&self, i: usize) -> Self::Item;
+}
+
+/// Parallel iterator over `&[T]`, returned by [`IntoParallelRefIterator::par_iter`].
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over `&mut [T]`, returned by
+/// [`IntoParallelRefMutIterator::par_iter_mut`].
+#[derive(Debug)]
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the driver hands out each index exactly once, so the `&'a mut T` references
+// produced are mutually disjoint; `T: Send` lets them cross threads.
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> Producer for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        // SAFETY: i is in bounds, and the caller contract guarantees each index is
+        // produced at most once, so the &mut references are disjoint.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Parallel iterator produced by [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> Producer for Map<I, F>
+where
+    I: Producer,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> R {
+        // SAFETY: forwarded under the same once-per-index caller contract.
+        (self.f)(unsafe { self.base.produce(i) })
+    }
+}
+
+/// Parallel iterator produced by [`ParallelIterator::zip`].
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn produce(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded under the same once-per-index caller contract.
+        unsafe { (self.a.produce(i), self.b.produce(i)) }
+    }
+}
+
+/// Take-once storage for [`IterBridge`]: items are moved out by index.
+struct TakeVec<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: each slot is taken exactly once (the driver claims each index once).
+unsafe impl<T: Send> Sync for TakeVec<T> {}
+
+/// Parallel iterator produced by [`ParallelBridge::par_bridge`].
+///
+/// The serial iterator is drained eagerly on the calling thread; the drained items
+/// are then processed in parallel.  Unlike real rayon (which interleaves pulling and
+/// processing and loses ordering), this shim preserves the serial iterator's order in
+/// `collect`, which only strengthens the determinism guarantees callers rely on.
+pub struct IterBridge<T> {
+    items: TakeVec<T>,
+}
+
+impl<T: Send> Producer for IterBridge<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.0.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> T {
+        // SAFETY: the caller contract guarantees each index is claimed exactly once,
+        // so the take cannot race another thread or observe an emptied slot.
+        unsafe { (*self.items.0[i].get()).take().expect("item taken once") }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rayon-compatible surface
+// ---------------------------------------------------------------------------
+
+/// Operations available on every parallel iterator (the subset of rayon's
+/// `ParallelIterator`/`IndexedParallelIterator` this workspace uses).
+pub trait ParallelIterator: Producer {
+    /// Transforms every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs this iterator's items with `other`'s, index by index.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every item (no ordering guarantee between items).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        // SAFETY: the driver claims every index in 0..len exactly once — the produce
+        // contract.
+        run_indexed(self.len(), |i| f(unsafe { self.produce(i) }));
+    }
+
+    /// Collects the items, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+impl<P: Producer> ParallelIterator for P {}
+
+/// Types constructible from a parallel iterator, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the items of `iter`.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        drive_collect_vec(iter)
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    /// Collects into `Ok(Vec)` or the **lowest-index** error — exactly what a
+    /// sequential run would report, independent of scheduling.
+    ///
+    /// Unlike a sequential collect, the region does **not** short-circuit: every
+    /// item still runs to completion before the error is reported (real rayon also
+    /// finishes in-flight items; this shim finishes all of them).  Callers are
+    /// fallible *preprocessing* phases where errors are construction-time defects,
+    /// so the extra work on the error path is accepted in exchange for a driver with
+    /// no cancellation machinery.
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        drive_collect_vec(iter).into_iter().collect()
+    }
+}
+
+/// Types that can produce a parallel iterator over shared references.
+///
+/// Mirrors `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'a> {
-    /// The iterator type returned by [`par_iter`](Self::par_iter).
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type returned by [`par_iter`](Self::par_iter).
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type yielded by the iterator.
     type Item: 'a;
 
-    /// Returns a (sequentially executing) parallel iterator over `&self`.
+    /// Returns a parallel iterator over `&self`.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = SliceIter<'a, T>;
     type Item = &'a T;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        SliceIter { slice: self }
     }
 }
 
 impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = SliceIter<'a, T>;
     type Item = &'a T;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        SliceIter { slice: self }
     }
 }
+
+/// Types that can produce a parallel iterator over exclusive references.
+///
+/// Mirrors `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The parallel iterator type returned by [`par_iter_mut`](Self::par_iter_mut).
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type yielded by the iterator.
+    type Item: 'a;
+
+    /// Returns a parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Bridges a serial [`Iterator`] into a parallel one, mirroring
+/// `rayon::iter::ParallelBridge`.
+pub trait ParallelBridge: Iterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Turns the remaining items of this serial iterator into a parallel iterator.
+    fn par_bridge(self) -> IterBridge<Self::Item> {
+        IterBridge { items: TakeVec(self.map(|v| UnsafeCell::new(Some(v))).collect()) }
+    }
+}
+
+impl<I: Iterator + Sized> ParallelBridge for I where I::Item: Send {}
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Forces a multi-threaded region regardless of the host's core count.
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -67,5 +601,177 @@ mod tests {
         let v = vec![1, 2, 3];
         let ok: Result<Vec<i32>, ()> = v.par_iter().map(|x| Ok(*x)).collect();
         assert_eq!(ok.unwrap(), v);
+    }
+
+    #[test]
+    fn result_collect_reports_the_lowest_index_error() {
+        let v: Vec<usize> = (0..1000).collect();
+        for threads in [1, 4] {
+            let got: Result<Vec<usize>, usize> = pool(threads).install(|| {
+                v.par_iter().map(|&x| if x % 7 == 3 { Err(x) } else { Ok(x) }).collect()
+            });
+            assert_eq!(got.unwrap_err(), 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.1).collect();
+        let run = |threads: usize| -> Vec<f64> {
+            pool(threads).install(|| v.par_iter().map(|x| (x * 1.7).sin() + x / 3.0).collect())
+        };
+        let seq = run(1);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-for-bit across thread counts");
+            }
+        }
+    }
+
+    #[test]
+    fn work_really_runs_on_multiple_threads() {
+        // Items are slow enough that a lone worker cannot drain the queues before the
+        // scoped workers start, even on a single hardware core.
+        let v: Vec<usize> = (0..64).collect();
+        let ids = Mutex::new(HashSet::new());
+        pool(4).install(|| {
+            v.par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "a 4-thread region over 64 slow items must use more than one thread"
+        );
+    }
+
+    #[test]
+    fn every_index_is_produced_exactly_once() {
+        let v: Vec<usize> = (0..5000).collect();
+        let counts: Vec<AtomicUsize> = (0..v.len()).map(|_| AtomicUsize::new(0)).collect();
+        pool(8).install(|| {
+            v.par_iter().for_each(|&i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..2048).collect();
+        pool(4).install(|| v.par_iter_mut().for_each(|x| *x *= 3));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+
+    #[test]
+    fn par_bridge_preserves_order_in_collect() {
+        let squares: Vec<usize> =
+            pool(4).install(|| (0..1000).map(|i| i * i).par_bridge().map(|x| x + 1).collect());
+        assert!(squares.iter().enumerate().all(|(i, &x)| x == i * i + 1));
+    }
+
+    #[test]
+    fn install_overrides_and_restores_the_thread_count() {
+        let outer = current_num_threads();
+        pool(3).install(|| {
+            assert_eq!(current_num_threads(), 3);
+            pool(2).install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn workers_inherit_the_installed_thread_count() {
+        // Real rayon runs install closures inside the pool, so nested regions on any
+        // worker see the pinned count; the shim must match, not fall back to the
+        // process default on spawned workers.
+        let v: Vec<usize> = (0..64).collect();
+        let seen = Mutex::new(HashSet::new());
+        pool(3).install(|| {
+            v.par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(current_num_threads());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        assert_eq!(
+            *seen.lock().unwrap(),
+            HashSet::from([3]),
+            "every worker must observe the installed thread count"
+        );
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(p.current_num_threads(), default_threads());
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = pool(4).install(|| empty.par_iter().map(|x| *x).collect());
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = pool(4).install(|| one.par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn zip_truncates_to_the_shorter_side() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![10, 20, 30];
+        let out: Vec<i32> =
+            pool(4).install(|| a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect());
+        assert_eq!(out, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn idle_workers_stealing_from_each_other_do_not_deadlock() {
+        // Regression test: stealing while still holding the own-queue lock put two
+        // idle workers into a circular wait.  Many short regions with more workers
+        // than chunks make mutual stealing near-certain; the watchdog turns a
+        // deadlock into a test failure instead of a hung suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..200 {
+                let v: Vec<usize> = (0..8).collect();
+                let out: Vec<usize> = pool(8).install(|| {
+                    v.par_iter()
+                        .map(|&i| {
+                            std::thread::yield_now();
+                            i + round
+                        })
+                        .collect()
+                });
+                assert_eq!(out.len(), 8);
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(60))
+            .expect("work-stealing deadlocked: idle workers must not hold their own lock");
+    }
+
+    #[test]
+    fn uneven_item_costs_are_stolen() {
+        // One pathological chunk (index 0 is very slow) must not serialize the rest:
+        // with stealing, the other workers drain the remaining chunks meanwhile.
+        let v: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = pool(4).install(|| {
+            v.par_iter()
+                .map(|&i| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    i * 2
+                })
+                .collect()
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i));
     }
 }

@@ -1,0 +1,42 @@
+//! Canonical conformance problems shared by the cross-approach suite
+//! (`tests/conformance.rs`) and the parallel-vs-sequential suite
+//! (`tests/parallel_conformance.rs`): heat transfer in 2D and 3D and linear
+//! elasticity in 2D.  Keeping the specs in one place guarantees both suites always
+//! test the same problems.
+
+use feti_decompose::DecompositionSpec;
+use feti_mesh::{Dim, ElementOrder, Physics};
+
+/// The small 2D heat-transfer conformance problem.
+pub fn heat_2d() -> DecompositionSpec {
+    DecompositionSpec::small_heat_2d()
+}
+
+/// The small 3D heat-transfer conformance problem (quadratic elements).
+pub fn heat_3d() -> DecompositionSpec {
+    DecompositionSpec {
+        dim: Dim::Three,
+        physics: Physics::HeatTransfer,
+        order: ElementOrder::Quadratic,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 2,
+        subdomains_per_cluster: 8,
+    }
+}
+
+/// The small 2D linear-elasticity conformance problem.
+pub fn elasticity_2d() -> DecompositionSpec {
+    DecompositionSpec {
+        dim: Dim::Two,
+        physics: Physics::LinearElasticity,
+        order: ElementOrder::Linear,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 3,
+        subdomains_per_cluster: 4,
+    }
+}
+
+/// All three conformance problems with their display names.
+pub fn problems() -> Vec<(&'static str, DecompositionSpec)> {
+    vec![("heat/2D", heat_2d()), ("heat/3D", heat_3d()), ("elasticity/2D", elasticity_2d())]
+}

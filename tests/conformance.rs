@@ -5,6 +5,9 @@
 //! Fig. 6 problem sizes the planned pick stays within 2x of the exhaustive modelled
 //! optimum.
 
+mod common;
+
+use common::problems;
 use feti_core::planner::Planner;
 use feti_core::{
     build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, PcpgOptions, TotalFetiSolver,
@@ -13,36 +16,6 @@ use feti_decompose::{DecomposedProblem, DecompositionSpec};
 use feti_gpu::GpuSpec;
 use feti_mesh::{Dim, ElementOrder, Physics};
 use feti_sparse::blas;
-
-fn heat_2d() -> DecompositionSpec {
-    DecompositionSpec::small_heat_2d()
-}
-
-fn heat_3d() -> DecompositionSpec {
-    DecompositionSpec {
-        dim: Dim::Three,
-        physics: Physics::HeatTransfer,
-        order: ElementOrder::Quadratic,
-        subdomains_per_side: 2,
-        elements_per_subdomain_side: 2,
-        subdomains_per_cluster: 8,
-    }
-}
-
-fn elasticity_2d() -> DecompositionSpec {
-    DecompositionSpec {
-        dim: Dim::Two,
-        physics: Physics::LinearElasticity,
-        order: ElementOrder::Linear,
-        subdomains_per_side: 2,
-        elements_per_subdomain_side: 3,
-        subdomains_per_cluster: 4,
-    }
-}
-
-fn problems() -> Vec<(&'static str, DecompositionSpec)> {
-    vec![("heat/2D", heat_2d()), ("heat/3D", heat_3d()), ("elasticity/2D", elasticity_2d())]
-}
 
 /// `F·p` of every approach must match the implicit CPU reference within 1e-9 relative
 /// error.

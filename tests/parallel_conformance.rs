@@ -1,0 +1,194 @@
+//! Parallel-vs-sequential conformance suite.
+//!
+//! The host runtime now really executes the subdomain loops on several threads
+//! (`shims/rayon` is a genuine work-stealing pool), and the backends promise that
+//! every cross-subdomain reduction happens in deterministic subdomain-index order.
+//! This suite pins that promise at the strongest possible level: for heat transfer in
+//! 2D and 3D, linear elasticity in 2D, and **all nine** dual-operator approaches, the
+//! operator action `F·p`, the PCPG solution, and the iteration counts produced with 4
+//! worker threads must be **bit-for-bit** identical to a 1-thread run — not merely
+//! close in norm.  It also asserts the performance side of the tentpole: on a machine
+//! with enough cores, the measured wall-clock `cpu_seconds` of a Fig. 5-size
+//! preprocessing phase must actually shrink when threads are added.
+//!
+//! Thread counts are pinned with `rayon::ThreadPoolBuilder::install`, the same
+//! mechanism the `FETI_THREADS` environment variable feeds (CI additionally runs the
+//! whole workspace suite under `FETI_THREADS=1` and `FETI_THREADS=4`).
+
+mod common;
+
+use common::problems;
+use feti_core::{
+    build_dual_operator, DualOperatorApproach, PcpgOptions, TimeBreakdown, TotalFetiSolver,
+};
+use feti_decompose::{DecomposedProblem, DecompositionSpec};
+use feti_mesh::{Dim, ElementOrder, Physics};
+use proptest::prelude::*;
+
+/// Runs `f` with every parallel region pinned to `threads` worker threads.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(f)
+}
+
+fn assert_bits_eq(name: &str, approach: DualOperatorApproach, what: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{name} {approach:?}: {what} length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name} {approach:?}: {what}[{i}] differs between 1 and 4 threads ({x:e} vs {y:e})"
+        );
+    }
+}
+
+/// `F·p` of every approach must be bit-for-bit identical with 1 and 4 worker threads.
+#[test]
+fn operator_action_is_bit_identical_across_thread_counts() {
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        let nl = problem.num_lambdas;
+        let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+        for approach in DualOperatorApproach::all() {
+            let run = |threads: usize| -> Vec<f64> {
+                with_threads(threads, || {
+                    let mut op = build_dual_operator(approach, &problem, None).unwrap();
+                    op.preprocess().unwrap();
+                    let mut q = vec![0.0; nl];
+                    op.apply(&p, &mut q);
+                    q
+                })
+            };
+            let q1 = run(1);
+            let q4 = run(4);
+            assert_bits_eq(name, approach, "F·p", &q1, &q4);
+        }
+    }
+}
+
+/// The PCPG solution — multipliers, primal solution, and the iteration count — of
+/// every approach must be bit-for-bit identical with 1 and 4 worker threads.
+#[test]
+fn solutions_and_iteration_counts_are_bit_identical_across_thread_counts() {
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        for approach in DualOperatorApproach::all() {
+            let run = |threads: usize| {
+                with_threads(threads, || {
+                    let mut solver =
+                        TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default())
+                            .unwrap();
+                    solver.solve().unwrap()
+                })
+            };
+            let s1 = run(1);
+            let s4 = run(4);
+            assert_eq!(
+                s1.iterations, s4.iterations,
+                "{name} {approach:?}: iteration counts must match"
+            );
+            assert_bits_eq(name, approach, "lambda", &s1.lambda, &s4.lambda);
+            assert_bits_eq(name, approach, "alpha", &s1.alpha, &s4.alpha);
+            assert_bits_eq(
+                name,
+                approach,
+                "global solution",
+                &s1.global_solution,
+                &s4.global_solution,
+            );
+            assert_eq!(
+                s1.final_residual.to_bits(),
+                s4.final_residual.to_bits(),
+                "{name} {approach:?}: final residual"
+            );
+        }
+    }
+}
+
+/// The tentpole's performance claim: on a machine with at least 4 cores, the measured
+/// wall-clock `cpu_seconds` of a Fig. 5-size preprocessing phase (3D heat transfer,
+/// quadratic elements — factorization-dominated host work) must speed up by more than
+/// 1.5× going from 1 to 4 worker threads.
+#[test]
+fn preprocessing_wall_time_speeds_up_with_threads() {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping speedup assertion: only {cores} hardware core(s) available");
+        return;
+    }
+    let spec = DecompositionSpec {
+        dim: Dim::Three,
+        physics: Physics::HeatTransfer,
+        order: ElementOrder::Quadratic,
+        subdomains_per_side: 2,
+        elements_per_subdomain_side: 3,
+        subdomains_per_cluster: 8,
+    };
+    let problem = DecomposedProblem::build(&spec);
+    let preprocess_wall = |threads: usize| -> f64 {
+        with_threads(threads, || {
+            // Best of three runs smooths out allocator and scheduler noise (shared
+            // CI runners expose exactly 4 oversubscribed vCPUs).
+            (0..3)
+                .map(|_| {
+                    let mut op =
+                        build_dual_operator(DualOperatorApproach::ExplicitCholmod, &problem, None)
+                            .unwrap();
+                    let t: TimeBreakdown = op.preprocess().unwrap();
+                    t.cpu_seconds
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+    };
+    let serial = preprocess_wall(1);
+    let parallel = preprocess_wall(4);
+    let speedup = serial / parallel;
+    assert!(
+        speedup > 1.5,
+        "preprocessing must speed up by more than 1.5x on {cores} cores: \
+         1 thread {serial:.3}s vs 4 threads {parallel:.3}s (speedup {speedup:.2}x)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Batched application equals column-by-column application **exactly** for every
+    // approach, over random batch widths and worker-thread counts.
+    #[test]
+    fn apply_many_equals_columnwise_apply_for_random_widths_and_threads(
+        width in 1usize..6,
+        threads in 1usize..5,
+        approach_index in 0usize..9,
+    ) {
+        let approach = DualOperatorApproach::all()[approach_index];
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let nl = problem.num_lambdas;
+        let mut p = feti_sparse::DenseMatrix::zeros(nl, width, feti_sparse::MemoryOrder::ColMajor);
+        for j in 0..width {
+            for i in 0..nl {
+                p.set(i, j, ((i * 7 + j * 13) % 23) as f64 * 0.17 - 1.9);
+            }
+        }
+        with_threads(threads, || {
+            let mut op = build_dual_operator(approach, &problem, None).unwrap();
+            op.preprocess().unwrap();
+            let mut q_many = feti_sparse::DenseMatrix::zeros(
+                nl,
+                width,
+                feti_sparse::MemoryOrder::ColMajor,
+            );
+            op.apply_many(&p, &mut q_many);
+            for j in 0..width {
+                let mut q = vec![0.0; nl];
+                op.apply(&p.col(j), &mut q);
+                for (i, v) in q.iter().enumerate() {
+                    assert_eq!(
+                        v.to_bits(),
+                        q_many.get(i, j).to_bits(),
+                        "{approach:?} threads={threads} width={width} column {j} row {i}"
+                    );
+                }
+            }
+        });
+    }
+}
