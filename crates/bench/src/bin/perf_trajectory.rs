@@ -1,0 +1,331 @@
+//! Performance trajectory at a pinned scale: per-phase wall times of the FETI
+//! pipeline plus blocked-vs-scalar kernel and simplicial-vs-supernodal factorization
+//! comparisons, written as `BENCH_<n>.json` at the repository root.
+//!
+//! Unlike the figure binaries (which sweep problem sizes), this binary pins one
+//! problem size and one thread count so successive commits produce comparable
+//! numbers — a recorded perf trajectory.  The measurement protocol and the JSON
+//! schema are documented in `DESIGN.md` (§ "Performance trajectory"); the emitted
+//! file is re-read and validated against that schema before the process exits, and
+//! any malformed output, schema violation, or missed speedup gate exits nonzero.
+//!
+//! * `FETI_BENCH_SCALE=quick` shrinks the problem for CI smoke runs and downgrades
+//!   the kernel speedup gate to a warning (tiny matrices underuse the blocking).
+//! * The default and `full` scales enforce blocked SYRK and TRSM ≥ 2x over the
+//!   retained scalar reference kernels.
+
+use feti_bench::json::{parse, validate_perf_trajectory, Value};
+use feti_bench::{build_problem, BenchScale};
+use feti_core::{build_dual_operator, DualOperatorApproach, PcpgOptions, TotalFetiSolver};
+use feti_mesh::{Dim, ElementOrder, Physics};
+use feti_solver::{CholmodLike, FactorizationKind, SolverOptions};
+use feti_sparse::{blas, DenseMatrix, DiagKind, MemoryOrder, Side, Transpose, Triangle};
+use std::time::Instant;
+
+/// The thread count every trajectory point pins (comparable across machines with at
+/// least this many cores; fewer cores simply timeshare).
+const PINNED_THREADS: usize = 4;
+
+/// The issue number this trajectory belongs to (names the output file).
+const ISSUE: usize = 6;
+
+/// Dense kernel operand size at each scale.
+fn kernel_size(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Quick => 96,
+        BenchScale::Default => 256,
+        BenchScale::Full => 384,
+    }
+}
+
+/// Elements per subdomain edge of the pinned 3D heat problem at each scale.
+fn problem_size(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Quick => 2,
+        BenchScale::Default => 3,
+        BenchScale::Full => 4,
+    }
+}
+
+/// Wall time of `f` — one warmup call, then the best of three timed calls (the
+/// protocol documented in `DESIGN.md`: best-of filters scheduler noise, the warmup
+/// filters one-time effects like the block-size autotune probe and page faults).
+fn best_of_three<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Deterministic pseudo-random matrix with a boosted diagonal (keeps TRSM and
+/// factorizations well conditioned).
+fn filled(rows: usize, cols: usize, order: MemoryOrder, seed: usize) -> DenseMatrix {
+    let mut a = DenseMatrix::zeros(rows, cols, order);
+    let mut state = seed as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for i in 0..rows {
+        for j in 0..cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let boost = if i == j { rows as f64 } else { 0.0 };
+            a.set(i, j, u - 0.5 + boost);
+        }
+    }
+    a
+}
+
+/// Measures one kernel pair and returns its JSON section.
+fn kernel_section(name: &str, scalar_s: f64, blocked_s: f64) -> (String, Value, f64) {
+    let speedup = scalar_s / blocked_s;
+    println!(
+        "kernel {name}: scalar {:.6}s, blocked {:.6}s, speedup {:.2}x",
+        scalar_s, blocked_s, speedup
+    );
+    let section = Value::obj(vec![
+        ("scalar_baseline_s", Value::Num(scalar_s)),
+        ("blocked_s", Value::Num(blocked_s)),
+        ("speedup", Value::Num(speedup)),
+    ]);
+    (name.to_string(), section, speedup)
+}
+
+fn measure_kernels(scale: BenchScale) -> (Value, Vec<(String, f64)>) {
+    let n = kernel_size(scale);
+    let a = filled(n, n, MemoryOrder::RowMajor, 1);
+    let b = filled(n, n, MemoryOrder::ColMajor, 2);
+    let x: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) * 0.17 - 1.1).collect();
+    let mut speedups = Vec::new();
+    let mut sections = Vec::new();
+
+    // SYRK: C = A Aᵀ over the lower triangle.
+    let mut c = DenseMatrix::zeros(n, n, MemoryOrder::RowMajor);
+    let scalar = best_of_three(|| {
+        blas::reference::syrk(Triangle::Lower, Transpose::No, 1.0, &a, 0.0, &mut c)
+    });
+    let blocked =
+        best_of_three(|| blas::syrk(Triangle::Lower, Transpose::No, 1.0, &a, 0.0, &mut c));
+    let (name, section, speedup) = kernel_section("syrk", scalar, blocked);
+    sections.push((name.clone(), section));
+    speedups.push((name, speedup));
+
+    // TRSM: solve L X = B for a full square right-hand side.
+    let mut rhs = b.clone();
+    let scalar = best_of_three(|| {
+        rhs.as_mut_slice().copy_from_slice(b.as_slice());
+        blas::reference::trsm(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &a, &mut rhs)
+            .expect("boosted diagonal is nonsingular");
+    });
+    let blocked = best_of_three(|| {
+        rhs.as_mut_slice().copy_from_slice(b.as_slice());
+        blas::trsm(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &a, &mut rhs)
+            .expect("boosted diagonal is nonsingular");
+    });
+    let (name, section, speedup) = kernel_section("trsm", scalar, blocked);
+    sections.push((name.clone(), section));
+    speedups.push((name, speedup));
+
+    // SYMM: C = A B with symmetric A (the batched explicit apply shape).
+    let nrhs = 32.min(n);
+    let bm = filled(n, nrhs, MemoryOrder::ColMajor, 3);
+    let mut cm = DenseMatrix::zeros(n, nrhs, MemoryOrder::ColMajor);
+    let scalar = best_of_three(|| {
+        blas::reference::symm(Side::Left, Triangle::Lower, 1.0, &a, &bm, 0.0, &mut cm)
+    });
+    let blocked =
+        best_of_three(|| blas::symm(Side::Left, Triangle::Lower, 1.0, &a, &bm, 0.0, &mut cm));
+    let (name, section, speedup) = kernel_section("symm", scalar, blocked);
+    sections.push((name.clone(), section));
+    speedups.push((name, speedup));
+
+    // SYMV: y = A x with symmetric A (the explicit apply shape).
+    let mut y = vec![0.0; n];
+    let scalar = best_of_three(|| blas::reference::symv(Triangle::Upper, 1.0, &a, &x, 0.0, &mut y));
+    let blocked = best_of_three(|| blas::symv(Triangle::Upper, 1.0, &a, &x, 0.0, &mut y));
+    let (name, section, speedup) = kernel_section("symv", scalar, blocked);
+    sections.push((name.clone(), section));
+    speedups.push((name, speedup));
+
+    (Value::Obj(sections), speedups)
+}
+
+fn measure_factorization(problem: &feti_decompose::DecomposedProblem) -> Value {
+    let k_reg = &problem.subdomains[0].k_reg;
+    let simplicial_facade = CholmodLike::analyze(
+        k_reg,
+        SolverOptions { factorization: FactorizationKind::Simplicial, ..SolverOptions::default() },
+    );
+    let supernodal_facade = CholmodLike::analyze(
+        k_reg,
+        SolverOptions { factorization: FactorizationKind::Supernodal, ..SolverOptions::default() },
+    );
+    let simplicial_s = best_of_three(|| {
+        simplicial_facade.factorize(k_reg).expect("k_reg is SPD");
+    });
+    let supernodal_s = best_of_three(|| {
+        supernodal_facade.factorize(k_reg).expect("k_reg is SPD");
+    });
+    println!(
+        "factorization: simplicial {simplicial_s:.6}s, supernodal {supernodal_s:.6}s \
+         ({} supernodes over {} columns)",
+        supernodal_facade.num_supernodes(),
+        supernodal_facade.dim()
+    );
+    Value::obj(vec![
+        ("simplicial_s", Value::Num(simplicial_s)),
+        ("supernodal_s", Value::Num(supernodal_s)),
+        ("num_supernodes", Value::Num(supernodal_facade.num_supernodes() as f64)),
+    ])
+}
+
+fn measure_phases(problem: &feti_decompose::DecomposedProblem) -> Value {
+    // Preprocess: operator construction = symbolic analysis of every subdomain.
+    let preprocess_s = best_of_three(|| {
+        let _ = build_dual_operator(DualOperatorApproach::ExplicitCholmod, problem, None)
+            .expect("benchmark problem fits the device");
+    });
+
+    // Factor: numeric factorization only (the implicit operator's preprocessing).
+    let mut implicit = build_dual_operator(DualOperatorApproach::ImplicitCholmod, problem, None)
+        .expect("benchmark problem fits the device");
+    let factor_s = best_of_three(|| {
+        implicit.preprocess().expect("k_reg is SPD");
+    });
+
+    // Assemble: factorization plus dense assembly of every local dual operator.
+    let mut explicit = build_dual_operator(DualOperatorApproach::ExplicitCholmod, problem, None)
+        .expect("benchmark problem fits the device");
+    let assemble_s = best_of_three(|| {
+        explicit.preprocess().expect("k_reg is SPD");
+    });
+
+    // Apply: one dual-operator application on the assembled operator.
+    let p: Vec<f64> = (0..problem.num_lambdas).map(|i| ((i % 17) as f64) * 0.1 - 0.8).collect();
+    let mut q = vec![0.0; problem.num_lambdas];
+    let apply_s = best_of_three(|| {
+        explicit.apply(&p, &mut q);
+    });
+
+    // Solve: a full Total FETI solve (PCPG to convergence).
+    let solve_s = best_of_three(|| {
+        let mut solver = TotalFetiSolver::new(
+            problem,
+            DualOperatorApproach::ImplicitCholmod,
+            None,
+            PcpgOptions::default(),
+        )
+        .expect("solver construction");
+        solver.solve().expect("PCPG converges on the seed problem");
+    });
+
+    println!(
+        "phases: preprocess {preprocess_s:.6}s, factor {factor_s:.6}s, assemble \
+         {assemble_s:.6}s, apply {apply_s:.6}s, solve {solve_s:.6}s"
+    );
+    Value::obj(vec![
+        ("preprocess_s", Value::Num(preprocess_s)),
+        ("factor_s", Value::Num(factor_s)),
+        ("assemble_s", Value::Num(assemble_s)),
+        ("apply_s", Value::Num(apply_s)),
+        ("solve_s", Value::Num(solve_s)),
+    ])
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("perf_trajectory: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let scale_name = match scale {
+        BenchScale::Quick => "quick",
+        BenchScale::Default => "default",
+        BenchScale::Full => "full",
+    };
+    println!("perf trajectory: scale {scale_name}, {PINNED_THREADS} pinned threads");
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(PINNED_THREADS)
+        .build()
+        .expect("thread pool construction");
+
+    let problem = build_problem(
+        Dim::Three,
+        Physics::HeatTransfer,
+        ElementOrder::Quadratic,
+        problem_size(scale),
+    );
+    println!(
+        "problem: heat 3D quadratic, {} dofs/subdomain, {} subdomains, {} lambdas",
+        problem.spec.dofs_per_subdomain(),
+        problem.subdomains.len(),
+        problem.num_lambdas
+    );
+
+    let ((kernels, speedups), factorization, phases) = pool.install(|| {
+        (measure_kernels(scale), measure_factorization(&problem), measure_phases(&problem))
+    });
+
+    let doc = Value::obj(vec![
+        ("bench", Value::Str("perf_trajectory".to_string())),
+        ("issue", Value::Num(ISSUE as f64)),
+        ("scale", Value::Str(scale_name.to_string())),
+        ("threads", Value::Num(PINNED_THREADS as f64)),
+        (
+            "problem",
+            Value::obj(vec![
+                ("dim", Value::Num(3.0)),
+                ("physics", Value::Str("heat_transfer".to_string())),
+                ("order", Value::Str("quadratic".to_string())),
+                ("elements_per_subdomain_side", Value::Num(problem_size(scale) as f64)),
+                ("dofs_per_subdomain", Value::Num(problem.spec.dofs_per_subdomain() as f64)),
+                ("num_subdomains", Value::Num(problem.subdomains.len() as f64)),
+                ("num_lambdas", Value::Num(problem.num_lambdas as f64)),
+            ]),
+        ),
+        ("phases", phases),
+        ("kernels", kernels),
+        ("factorization", factorization),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "6.json");
+    if let Err(e) = std::fs::write(path, doc.to_json()) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+
+    // Self-validation: re-read the artifact and check it against the documented
+    // schema; a bench binary must never exit zero with malformed output on disk.
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot re-read {path}: {e}")),
+    };
+    let reread = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("emitted invalid JSON: {e}")),
+    };
+    if reread != doc {
+        fail("emitted JSON does not round-trip to the in-memory document");
+    }
+    if let Err(e) = validate_perf_trajectory(&reread) {
+        fail(&format!("emitted JSON violates the documented schema: {e}"));
+    }
+
+    // Speedup gate: the blocked BLAS-3 kernels must beat the scalar references at
+    // the pinned scale.  Tiny quick-mode matrices underuse the blocking, so the CI
+    // smoke run only warns.
+    for (name, speedup) in &speedups {
+        if matches!(name.as_str(), "syrk" | "trsm") && *speedup < 2.0 {
+            let message = format!("blocked {name} speedup {speedup:.2}x is below the 2x gate");
+            if scale == BenchScale::Quick {
+                println!("warning ({scale_name} scale): {message}");
+            } else {
+                fail(&message);
+            }
+        }
+    }
+
+    println!("wrote {path}");
+}

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use feti_core::{build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, TimeBreakdown};
 use feti_decompose::{DecomposedProblem, DecompositionSpec};
 use feti_mesh::{Dim, ElementOrder, Physics};

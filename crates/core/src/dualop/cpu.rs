@@ -39,8 +39,11 @@ impl CpuFactor {
     }
 }
 
-fn make_symbolic(approach: DualOperatorApproach, block: &SubdomainBlock) -> CpuSymbolic {
-    let opts = SolverOptions::default();
+fn make_symbolic(
+    approach: DualOperatorApproach,
+    block: &SubdomainBlock,
+    opts: SolverOptions,
+) -> CpuSymbolic {
     match approach {
         DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ExplicitMkl => {
             CpuSymbolic::Mkl(PardisoLike::analyze(&block.k_reg, opts))
@@ -67,8 +70,19 @@ impl ImplicitCpuOperator {
         blocks: Vec<SubdomainBlock>,
         num_lambdas: usize,
     ) -> Self {
+        Self::new_with_options(approach, blocks, num_lambdas, SolverOptions::default())
+    }
+
+    /// Like [`Self::new`] with explicit solver options (factorization kind, ordering).
+    #[must_use]
+    pub fn new_with_options(
+        approach: DualOperatorApproach,
+        blocks: Vec<SubdomainBlock>,
+        num_lambdas: usize,
+        opts: SolverOptions,
+    ) -> Self {
         let symbolic: Vec<CpuSymbolic> =
-            blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
+            blocks.par_iter().map(|b| make_symbolic(approach, b, opts)).collect();
         let factors = blocks.iter().map(|_| None).collect();
         Self { approach, blocks, num_lambdas, symbolic, factors, stats: SharedStats::default() }
     }
@@ -165,8 +179,19 @@ impl ExplicitCpuOperator {
         blocks: Vec<SubdomainBlock>,
         num_lambdas: usize,
     ) -> Self {
+        Self::new_with_options(approach, blocks, num_lambdas, SolverOptions::default())
+    }
+
+    /// Like [`Self::new`] with explicit solver options (factorization kind, ordering).
+    #[must_use]
+    pub fn new_with_options(
+        approach: DualOperatorApproach,
+        blocks: Vec<SubdomainBlock>,
+        num_lambdas: usize,
+        opts: SolverOptions,
+    ) -> Self {
         let symbolic: Vec<CpuSymbolic> =
-            blocks.par_iter().map(|b| make_symbolic(approach, b)).collect();
+            blocks.par_iter().map(|b| make_symbolic(approach, b, opts)).collect();
         let f_local = blocks.iter().map(|_| None).collect();
         Self { approach, blocks, num_lambdas, symbolic, f_local, stats: SharedStats::default() }
     }

@@ -12,6 +12,7 @@ pub mod gpu;
 use crate::params::{DualOperatorApproach, ExplicitAssemblyParams};
 use crate::schedule::TimeBreakdown;
 use feti_decompose::DecomposedProblem;
+use feti_solver::SolverOptions;
 use feti_sparse::{CsrMatrix, DenseMatrix};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -195,6 +196,21 @@ pub fn build_dual_operator(
     problem: &DecomposedProblem,
     params: Option<ExplicitAssemblyParams>,
 ) -> crate::Result<Box<dyn DualOperator>> {
+    build_dual_operator_with_options(approach, problem, params, SolverOptions::default())
+}
+
+/// Like [`build_dual_operator`] with explicit solver options — in particular the
+/// numeric factorization kind ([`feti_solver::FactorizationKind`]) the planner prices
+/// and selects.  Both kinds yield bit-identical operators; only wall time differs.
+///
+/// # Errors
+/// Returns an error if the simulated device cannot hold the persistent structures.
+pub fn build_dual_operator_with_options(
+    approach: DualOperatorApproach,
+    problem: &DecomposedProblem,
+    params: Option<ExplicitAssemblyParams>,
+    solver_options: SolverOptions,
+) -> crate::Result<Box<dyn DualOperator>> {
     let blocks = SubdomainBlock::from_problem(problem);
     let num_lambdas = problem.num_lambdas;
     let resolved_params = params.unwrap_or_else(|| {
@@ -207,24 +223,45 @@ pub fn build_dual_operator(
     });
     match approach {
         DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => {
-            Ok(Box::new(cpu::ImplicitCpuOperator::new(approach, blocks, num_lambdas)))
+            Ok(Box::new(cpu::ImplicitCpuOperator::new_with_options(
+                approach,
+                blocks,
+                num_lambdas,
+                solver_options,
+            )))
         }
         DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => {
-            Ok(Box::new(cpu::ExplicitCpuOperator::new(approach, blocks, num_lambdas)))
+            Ok(Box::new(cpu::ExplicitCpuOperator::new_with_options(
+                approach,
+                blocks,
+                num_lambdas,
+                solver_options,
+            )))
         }
         DualOperatorApproach::ImplicitGpuLegacy | DualOperatorApproach::ImplicitGpuModern => {
-            Ok(Box::new(gpu::ImplicitGpuOperator::new(approach, blocks, num_lambdas)?))
+            Ok(Box::new(gpu::ImplicitGpuOperator::new_with_options(
+                approach,
+                blocks,
+                num_lambdas,
+                solver_options,
+            )?))
         }
         DualOperatorApproach::ExplicitGpuLegacy | DualOperatorApproach::ExplicitGpuModern => {
-            Ok(Box::new(gpu::ExplicitGpuOperator::new(
+            Ok(Box::new(gpu::ExplicitGpuOperator::new_with_options(
                 approach,
                 blocks,
                 num_lambdas,
                 resolved_params,
+                solver_options,
             )?))
         }
         DualOperatorApproach::ExplicitHybrid => {
-            Ok(Box::new(gpu::HybridOperator::new(blocks, num_lambdas, resolved_params)?))
+            Ok(Box::new(gpu::HybridOperator::new_with_options(
+                blocks,
+                num_lambdas,
+                resolved_params,
+                solver_options,
+            )?))
         }
     }
 }

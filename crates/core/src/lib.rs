@@ -25,7 +25,9 @@ pub mod params;
 pub mod planner;
 pub mod schedule;
 
-pub use dualop::{build_dual_operator, DualOperator, DualOperatorStats};
+pub use dualop::{
+    build_dual_operator, build_dual_operator_with_options, DualOperator, DualOperatorStats,
+};
 pub use feti::{FetiSolution, LoadCase, PcpgOptions, TotalFetiSolver};
 pub use params::{
     DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path, ScatterGather,

@@ -25,7 +25,7 @@ use feti_decompose::DecomposedProblem;
 use feti_gpu::{cost, CudaGeneration, GpuCost, GpuSpec};
 use feti_solver::cholmod::CholmodLike;
 use feti_solver::pardiso::PardisoLike;
-use feti_solver::SolverOptions;
+use feti_solver::{FactorizationKind, SolverOptions};
 
 /// Roofline description of the host: effective per-thread FP64 throughput and memory
 /// bandwidth, plus a per-subdomain-task overhead (dispatch, allocation).
@@ -96,6 +96,8 @@ struct SubdomainShape {
     b_bytes: usize,
     /// Symbolic factor size of the CHOLMOD-like solver (used by all GPU approaches).
     fnnz_cholmod: usize,
+    /// Number of supernodes of the CHOLMOD-like factor (prices the supernodal kernel).
+    nsuper_cholmod: usize,
     /// Symbolic factor size of the MKL-PARDISO-like solver.
     fnnz_mkl: usize,
 }
@@ -108,6 +110,9 @@ pub struct PlanCandidate {
     /// The explicit-assembly parameters the estimate assumed (CPU-only approaches
     /// ignore them).
     pub params: ExplicitAssemblyParams,
+    /// The host numeric factorization kind the estimate assumed.  Both kinds produce
+    /// bit-identical factors, so this only shifts the priced host preprocessing time.
+    pub factorization: FactorizationKind,
     /// Estimated FETI preprocessing cost under the overlapped phase schedule.
     pub preprocessing: TimeBreakdown,
     /// Estimated cost of one dual-operator application.
@@ -151,7 +156,12 @@ impl Plan {
     /// device rejects the persistent allocations).
     pub fn build(&self, problem: &DecomposedProblem) -> crate::Result<Box<dyn DualOperator>> {
         let best = self.best();
-        crate::dualop::build_dual_operator(best.approach, problem, Some(best.params))
+        crate::dualop::build_dual_operator_with_options(
+            best.approach,
+            problem,
+            Some(best.params),
+            SolverOptions { factorization: best.factorization, ..SolverOptions::default() },
+        )
     }
 }
 
@@ -175,14 +185,18 @@ impl<'a> Planner<'a> {
         let shapes = problem
             .subdomains
             .iter()
-            .map(|sd| SubdomainShape {
-                n: sd.num_dofs(),
-                nl: sd.num_local_lambdas(),
-                nnz_b: sd.gluing.nnz(),
-                b_bytes: sd.gluing.bytes(),
-                fnnz_cholmod: CholmodLike::analyze(&sd.k_reg, SolverOptions::default())
-                    .factor_nnz(),
-                fnnz_mkl: PardisoLike::analyze(&sd.k_reg, SolverOptions::default()).factor_nnz(),
+            .map(|sd| {
+                let cholmod = CholmodLike::analyze(&sd.k_reg, SolverOptions::default());
+                SubdomainShape {
+                    n: sd.num_dofs(),
+                    nl: sd.num_local_lambdas(),
+                    nnz_b: sd.gluing.nnz(),
+                    b_bytes: sd.gluing.bytes(),
+                    fnnz_cholmod: cholmod.factor_nnz(),
+                    nsuper_cholmod: cholmod.num_supernodes(),
+                    fnnz_mkl: PardisoLike::analyze(&sd.k_reg, SolverOptions::default())
+                        .factor_nnz(),
+                }
             })
             .collect();
         Self { problem, gpu, host: HostSpec::calibrated(), shapes }
@@ -220,7 +234,17 @@ impl<'a> Planner<'a> {
         let mut candidates = Vec::new();
         for approach in DualOperatorApproach::all() {
             for params in self.params_candidates(approach, full_sweep) {
+                // Simplicial first, so a tie (the kinds only differ in host
+                // preprocessing price) resolves to the simpler kernel under the
+                // stable sort below.
                 candidates.push(self.estimate(approach, params));
+                if Self::uses_cholmod_factorization(approach) {
+                    candidates.push(self.estimate_with_factorization(
+                        approach,
+                        params,
+                        FactorizationKind::Supernodal,
+                    ));
+                }
             }
         }
         candidates.sort_by(|a, b| {
@@ -260,13 +284,45 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// Whether an approach factorizes through the CHOLMOD-like facade, whose numeric
+    /// kernel (simplicial vs supernodal) is selectable.  The MKL-backed approaches
+    /// always factorize simplicially.
+    fn uses_cholmod_factorization(approach: DualOperatorApproach) -> bool {
+        !matches!(
+            approach,
+            DualOperatorApproach::ImplicitMkl
+                | DualOperatorApproach::ExplicitMkl
+                | DualOperatorApproach::ExplicitHybrid
+        )
+    }
+
     /// Estimates one approach with one parameter set — no execution, structure only.
+    /// Prices the default (simplicial) host factorization.
     #[must_use]
     pub fn estimate(
         &self,
         approach: DualOperatorApproach,
         params: ExplicitAssemblyParams,
     ) -> PlanCandidate {
+        self.estimate_with_factorization(approach, params, FactorizationKind::Simplicial)
+    }
+
+    /// Estimates one approach with one parameter set and an explicit host
+    /// factorization kind.  The kind only reprices the host factorization phase (the
+    /// kinds are bit-identical in their output); approaches that do not factorize
+    /// through the CHOLMOD-like facade ignore it.
+    #[must_use]
+    pub fn estimate_with_factorization(
+        &self,
+        approach: DualOperatorApproach,
+        params: ExplicitAssemblyParams,
+        factorization: FactorizationKind,
+    ) -> PlanCandidate {
+        let kind = if Self::uses_cholmod_factorization(approach) {
+            factorization
+        } else {
+            FactorizationKind::Simplicial
+        };
         let generation = approach.generation().unwrap_or(CudaGeneration::Legacy);
         // One modelled worker and one stream per host thread, matching what the
         // executed phases use.
@@ -276,14 +332,14 @@ impl<'a> Planner<'a> {
             DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ImplicitCholmod => {
                 for (i, s) in self.shapes.iter().enumerate() {
                     let fnnz = self.factor_nnz(approach, s);
-                    pre.record_subdomain(i, self.host_factorize(fnnz, s.n), &[]);
+                    pre.record_subdomain(i, self.host_factorize(fnnz, s, kind), &[]);
                     app.record_subdomain(i, self.host_implicit_apply(fnnz, s), &[]);
                 }
             }
             DualOperatorApproach::ExplicitMkl | DualOperatorApproach::ExplicitCholmod => {
                 for (i, s) in self.shapes.iter().enumerate() {
                     let fnnz = self.factor_nnz(approach, s);
-                    let assemble = self.host_factorize(fnnz, s.n) + self.host_schur(fnnz, s);
+                    let assemble = self.host_factorize(fnnz, s, kind) + self.host_schur(fnnz, s);
                     pre.record_subdomain(i, assemble, &[]);
                     app.record_subdomain(i, self.host_symv(s.nl), &[]);
                 }
@@ -293,7 +349,7 @@ impl<'a> Planner<'a> {
                     let fnnz = s.fnnz_cholmod;
                     pre.record_subdomain(
                         i,
-                        self.host_factorize(fnnz, s.n),
+                        self.host_factorize(fnnz, s, kind),
                         &[cost::transfer(&self.gpu, fnnz * 12)],
                     );
                     app.record_subdomain(i, 0.0, &self.implicit_gpu_apply_ops(generation, s));
@@ -304,7 +360,7 @@ impl<'a> Planner<'a> {
                     let fnnz = s.fnnz_cholmod;
                     pre.record_subdomain(
                         i,
-                        self.host_factorize(fnnz, s.n),
+                        self.host_factorize(fnnz, s, kind),
                         &self.explicit_assembly_ops(generation, &params, s),
                     );
                 }
@@ -313,7 +369,7 @@ impl<'a> Planner<'a> {
             DualOperatorApproach::ExplicitHybrid => {
                 for (i, s) in self.shapes.iter().enumerate() {
                     let fnnz = s.fnnz_mkl;
-                    let cpu = self.host_factorize(fnnz, s.n) + self.host_schur(fnnz, s);
+                    let cpu = self.host_factorize(fnnz, s, kind) + self.host_schur(fnnz, s);
                     pre.record_subdomain(i, cpu, &[cost::transfer(&self.gpu, s.nl * s.nl * 8 / 2)]);
                 }
                 self.record_explicit_apply(&mut app, &params);
@@ -322,6 +378,7 @@ impl<'a> Planner<'a> {
         PlanCandidate {
             approach,
             params,
+            factorization: kind,
             preprocessing: pre.finish(),
             apply: app.finish(),
             fits_device_memory: self.fits_device_memory(approach, generation),
@@ -338,11 +395,18 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Host cost of one numeric Cholesky factorization (supernodal flop estimate
-    /// `Σ_j nnz(L_{:,j})² ≈ nnz(L)²/n` under a uniform column-fill assumption).
-    fn host_factorize(&self, fnnz: usize, n: usize) -> f64 {
-        let fl = 2.0 * (fnnz as f64) * (fnnz as f64) / n.max(1) as f64;
-        self.host.seconds(fnnz as f64 * 16.0, fl)
+    /// Host cost of one numeric Cholesky factorization, priced by `feti-gpu`'s host
+    /// work model ([`cost::host_factor_work_simplicial`] /
+    /// [`cost::host_factor_work_supernodal`]): identical flops for both kinds, less
+    /// index traffic for wide supernodes.
+    fn host_factorize(&self, fnnz: usize, s: &SubdomainShape, kind: FactorizationKind) -> f64 {
+        let (bytes, flops) = match kind {
+            FactorizationKind::Simplicial => cost::host_factor_work_simplicial(fnnz, s.n),
+            FactorizationKind::Supernodal => {
+                cost::host_factor_work_supernodal(fnnz, s.n, s.nsuper_cholmod)
+            }
+        };
+        self.host.seconds(bytes, flops)
     }
 
     /// Host cost of one implicit application: two gluing SpMVs and two triangular
@@ -631,6 +695,55 @@ mod tests {
             let ratio =
                 auto.best().total_seconds(iterations) / full.best().total_seconds(iterations);
             assert!(ratio <= 2.0, "iterations {iterations}: auto/full ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn supernodal_candidates_are_priced_for_cholmod_backed_approaches() {
+        let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());
+        let planner = planner_for(&problem);
+        let plan = planner.plan_auto(100);
+        for c in &plan.candidates {
+            if c.factorization == FactorizationKind::Supernodal {
+                assert!(
+                    !matches!(
+                        c.approach,
+                        DualOperatorApproach::ImplicitMkl
+                            | DualOperatorApproach::ExplicitMkl
+                            | DualOperatorApproach::ExplicitHybrid
+                    ),
+                    "MKL-backed approaches factorize simplicially only, got {:?}",
+                    c.approach
+                );
+            }
+        }
+        // Every cholmod-backed approach is priced under both kinds, and the
+        // supernodal estimate is never more expensive: same flops and same modelled
+        // GPU work, strictly less host index traffic, same apply cost.
+        for approach in [
+            DualOperatorApproach::ImplicitCholmod,
+            DualOperatorApproach::ExplicitCholmod,
+            DualOperatorApproach::ExplicitGpuModern,
+        ] {
+            let params = ExplicitAssemblyParams::auto_configure(
+                approach.generation().unwrap_or(CudaGeneration::Legacy),
+                problem.spec.dim,
+                problem.spec.dofs_per_subdomain(),
+            );
+            let simp = planner.estimate(approach, params);
+            let sup = planner.estimate_with_factorization(
+                approach,
+                params,
+                FactorizationKind::Supernodal,
+            );
+            assert_eq!(sup.factorization, FactorizationKind::Supernodal);
+            assert!(
+                sup.preprocessing.total_seconds <= simp.preprocessing.total_seconds,
+                "{approach:?}: supernodal {} vs simplicial {}",
+                sup.preprocessing.total_seconds,
+                simp.preprocessing.total_seconds
+            );
+            assert_eq!(sup.apply.total_seconds, simp.apply.total_seconds, "{approach:?}");
         }
     }
 

@@ -206,8 +206,8 @@ mod tests {
             // Gaussian elimination.
             let mut q = vec![vec![0.0f64; k]; k];
             for (row, &d) in fixing.iter().enumerate() {
-                for c in 0..k {
-                    q[row][c] = r.get(d, c);
+                for (c, qc) in q[row].iter_mut().enumerate() {
+                    *qc = r.get(d, c);
                 }
             }
             let mut det: f64 = 1.0;
@@ -222,9 +222,12 @@ mod tests {
                 assert!(p.abs() > 1e-8, "{dim:?} {physics:?}: Q^T R is singular");
                 det *= p;
                 for row in (col + 1)..k {
-                    let f = mat[row][col] / p;
-                    for cc in col..k {
-                        mat[row][cc] -= f * mat[col][cc];
+                    let (head, tail) = mat.split_at_mut(row);
+                    let pivot_row = &head[col];
+                    let target = &mut tail[0];
+                    let f = target[col] / p;
+                    for (dst, &src) in target.iter_mut().zip(pivot_row).skip(col) {
+                        *dst -= f * src;
                     }
                 }
             }

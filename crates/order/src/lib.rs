@@ -82,7 +82,7 @@ mod tests {
         ] {
             let p = compute_ordering(&a, kind);
             assert_eq!(p.len(), 17);
-            let mut seen = vec![false; 17];
+            let mut seen = [false; 17];
             for &o in p.new_to_old() {
                 assert!(!seen[o]);
                 seen[o] = true;

@@ -110,7 +110,7 @@ mod tests {
         let g = AdjGraph::from_pattern(&a);
         let p = minimum_degree(&g);
         assert_eq!(p.len(), 42);
-        let mut seen = vec![false; 42];
+        let mut seen = [false; 42];
         for &v in p.new_to_old() {
             assert!(!seen[v]);
             seen[v] = true;

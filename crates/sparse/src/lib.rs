@@ -94,6 +94,15 @@ impl Transpose {
     }
 }
 
+/// Which side a symmetric operand appears on in a matrix-matrix kernel (SYMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The symmetric operand is on the left: `C = alpha * A * B + beta * C`.
+    Left,
+    /// The symmetric operand is on the right: `C = alpha * B * A + beta * C`.
+    Right,
+}
+
 /// Whether a triangular factor has an implicit unit diagonal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiagKind {

@@ -19,10 +19,13 @@ mod common;
 
 use common::problems;
 use feti_core::{
-    build_dual_operator, DualOperatorApproach, PcpgOptions, TimeBreakdown, TotalFetiSolver,
+    build_dual_operator, build_dual_operator_with_options, DualOperatorApproach, PcpgOptions,
+    TimeBreakdown, TotalFetiSolver,
 };
 use feti_decompose::{DecomposedProblem, DecompositionSpec};
 use feti_mesh::{Dim, ElementOrder, Physics};
+use feti_solver::{FactorizationKind, SolverOptions, SupernodalFactor, SymbolicCholesky};
+use feti_sparse::{blas, DenseMatrix, DiagKind, MemoryOrder, Transpose, Triangle};
 use proptest::prelude::*;
 
 /// Runs `f` with every parallel region pinned to `threads` worker threads.
@@ -101,6 +104,100 @@ fn solutions_and_iteration_counts_are_bit_identical_across_thread_counts() {
                 "{name} {approach:?}: final residual"
             );
         }
+    }
+}
+
+/// With the supernodal factorization forced on, the operator action of every approach
+/// must still be bit-for-bit identical between 1 and 4 worker threads — the blocked
+/// panel kernels inside the factorization are thread-count-invariant by construction.
+#[test]
+fn supernodal_operator_action_is_bit_identical_across_thread_counts() {
+    let options =
+        SolverOptions { factorization: FactorizationKind::Supernodal, ..SolverOptions::default() };
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        let nl = problem.num_lambdas;
+        let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.53).cos() - 0.4).collect();
+        for approach in DualOperatorApproach::all() {
+            let run = |threads: usize| -> Vec<f64> {
+                with_threads(threads, || {
+                    let mut op =
+                        build_dual_operator_with_options(approach, &problem, None, options)
+                            .unwrap();
+                    op.preprocess().unwrap();
+                    let mut q = vec![0.0; nl];
+                    op.apply(&p, &mut q);
+                    q
+                })
+            };
+            let q1 = run(1);
+            let q4 = run(4);
+            assert_bits_eq(name, approach, "supernodal F·p", &q1, &q4);
+        }
+    }
+}
+
+/// The blocked BLAS kernels and the supernodal factorization are sequential building
+/// blocks: their results must not depend on the ambient worker pool at all.  This
+/// pins SYRK, TRSM, SYMM, SYMV and a supernodal factor to identical bits under 1 and
+/// 4 installed threads.
+#[test]
+fn blocked_kernels_and_supernodal_factor_are_thread_count_invariant() {
+    let n = 64;
+    let fill = |seed: usize, rows: usize, cols: usize, boost: f64| {
+        let mut m = DenseMatrix::zeros(rows, cols, MemoryOrder::RowMajor);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = (((i * 31 + j * 17 + seed) % 101) as f64) * 0.02 - 1.0;
+                m.set(i, j, v + if i == j { boost } else { 0.0 });
+            }
+        }
+        m
+    };
+    let run = |threads: usize| -> Vec<Vec<u64>> {
+        with_threads(threads, || {
+            let a = fill(1, n, n, 0.0);
+            let tri = fill(2, n, n, n as f64);
+            let mut c = fill(3, n, n, 0.0);
+            blas::syrk(Triangle::Lower, Transpose::No, 1.1, &a, 0.3, &mut c);
+            let mut b = fill(4, n, 8, 0.0);
+            blas::trsm(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &tri, &mut b)
+                .unwrap();
+            let mut s = fill(5, n, 8, 0.0);
+            blas::symm(feti_sparse::Side::Left, Triangle::Upper, 0.7, &a, &b, 0.2, &mut s);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+            let mut y = vec![0.5; n];
+            blas::symv(Triangle::Lower, 1.3, &a, &x, -0.6, &mut y);
+
+            let spec = common::heat_2d();
+            let problem = DecomposedProblem::build(&spec);
+            let opts = SolverOptions::default();
+            let k = &problem.subdomains[0].k_reg;
+            let symbolic = SymbolicCholesky::analyze(k, &opts);
+            let factor = SupernodalFactor::factorize(&symbolic, k, &opts).unwrap();
+            let l = factor.factor_csc();
+
+            let bits = |m: &DenseMatrix| -> Vec<u64> {
+                (0..m.nrows())
+                    .flat_map(|i| (0..m.ncols()).map(move |j| (i, j)))
+                    .map(|(i, j)| m.get(i, j).to_bits())
+                    .collect()
+            };
+            vec![
+                bits(&c),
+                bits(&b),
+                bits(&s),
+                y.iter().map(|v| v.to_bits()).collect(),
+                l.values().iter().map(|v| v.to_bits()).collect(),
+            ]
+        })
+    };
+    let r1 = run(1);
+    let r4 = run(4);
+    for (what, (a, b)) in
+        ["syrk", "trsm", "symm", "symv", "supernodal factor"].iter().zip(r1.iter().zip(&r4))
+    {
+        assert_eq!(a, b, "{what}: bits differ between 1 and 4 installed threads");
     }
 }
 
