@@ -12,7 +12,8 @@
 //! * `FETI_BENCH_SCALE=quick` shrinks the problem for CI smoke runs and downgrades
 //!   the kernel speedup gate to a warning (tiny matrices underuse the blocking).
 //! * The default and `full` scales enforce blocked SYRK and TRSM ≥ 2x over the
-//!   retained scalar reference kernels.
+//!   retained scalar reference kernels, and a ≥ 1.5x modelled assembly-phase speedup
+//!   of the sparse-RHS explicit family over the dense explicit family.
 
 use feti_bench::json::{parse, validate_perf_trajectory, Value};
 use feti_bench::{build_problem, BenchScale};
@@ -27,7 +28,7 @@ use std::time::Instant;
 const PINNED_THREADS: usize = 4;
 
 /// The issue number this trajectory belongs to (names the output file).
-const ISSUE: usize = 6;
+const ISSUE: usize = 7;
 
 /// Dense kernel operand size at each scale.
 fn kernel_size(scale: BenchScale) -> usize {
@@ -233,6 +234,75 @@ fn measure_phases(problem: &feti_decompose::DecomposedProblem) -> Value {
     ])
 }
 
+/// Subdomain DOF count at which the assembly kernel pair is priced at each scale.
+///
+/// The pinned FETI problem's subdomains are tiny — on the modelled device their
+/// assembly kernels sit in the launch-overhead-dominated regime, where any kernel
+/// improvement drowns in the fixed per-launch cost.  The kernel comparison is
+/// therefore evaluated at a paper-scale DOF count (the same decoupling
+/// [`kernel_size`] applies to the blocked host kernels), carrying over the pinned
+/// problem's *measured* multiplier and boundary-DOF fractions.
+fn assembly_size(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Quick => 1024,
+        BenchScale::Default => 4096,
+        BenchScale::Full => 8192,
+    }
+}
+
+/// Modelled device time of one subdomain's explicit assembly TRSM/SYRK kernel pair:
+/// dense family vs the sparsity-aware sparse-RHS family of arXiv 2509.21037.
+///
+/// GPU work is accounted by the simulated device's cost model throughout this
+/// repository, so the comparison uses the deterministic modelled seconds of the two
+/// assembly kernels at the [`assembly_size`] subdomain dimension, with the local
+/// multiplier and boundary-DOF counts scaled from the pinned problem's measured
+/// per-subdomain averages.  The factor/gluing transfers and the sparse-to-dense
+/// conversions are identical between the two families (both execute the SYRK path
+/// over a dense factor) and are excluded from the pair.
+fn measure_sparse_assembly(
+    scale: BenchScale,
+    problem: &feti_decompose::DecomposedProblem,
+) -> (Value, f64) {
+    use feti_gpu::{cost, CudaGeneration, GpuSpec};
+    let spec = GpuSpec::a100_40gb();
+    let generation = CudaGeneration::Legacy;
+    let nsub = problem.subdomains.len() as f64;
+    let lambda_fraction = problem
+        .subdomains
+        .iter()
+        .map(|sd| sd.num_local_lambdas() as f64 / sd.num_dofs() as f64)
+        .sum::<f64>()
+        / nsub;
+    let boundary_fraction = problem
+        .subdomains
+        .iter()
+        .map(|sd| sd.gluing.num_nonzero_cols() as f64 / sd.num_dofs() as f64)
+        .sum::<f64>()
+        / nsub;
+    let n = assembly_size(scale);
+    let nl = (n as f64 * lambda_fraction).round() as usize;
+    let nb = (n as f64 * boundary_fraction).round() as usize;
+    let dense_s = cost::dense_trsm(&spec, n, nl).seconds + cost::syrk(&spec, nl, n).seconds;
+    let sparse_s = cost::sparse_rhs_trsm(&spec, generation, n, nl, nb).seconds
+        + cost::boundary_syrk(&spec, generation, nl, n, nb).seconds;
+    let speedup = dense_s / sparse_s;
+    println!(
+        "sparse assembly (n {n}, nl {nl}, nb {nb}): dense {dense_s:.6}s, sparse {sparse_s:.6}s, \
+         speedup {speedup:.2}x (boundary fraction {boundary_fraction:.2})"
+    );
+    let section = Value::obj(vec![
+        ("dofs", Value::Num(n as f64)),
+        ("local_lambdas", Value::Num(nl as f64)),
+        ("boundary_dofs", Value::Num(nb as f64)),
+        ("dense_assemble_s", Value::Num(dense_s)),
+        ("sparse_assemble_s", Value::Num(sparse_s)),
+        ("speedup", Value::Num(speedup)),
+        ("boundary_fraction", Value::Num(boundary_fraction)),
+    ]);
+    (section, speedup)
+}
+
 fn fail(message: &str) -> ! {
     eprintln!("perf_trajectory: {message}");
     std::process::exit(1);
@@ -265,9 +335,15 @@ fn main() {
         problem.num_lambdas
     );
 
-    let ((kernels, speedups), factorization, phases) = pool.install(|| {
-        (measure_kernels(scale), measure_factorization(&problem), measure_phases(&problem))
-    });
+    let ((kernels, speedups), factorization, phases, (sparse_assembly, sparse_speedup)) = pool
+        .install(|| {
+            (
+                measure_kernels(scale),
+                measure_factorization(&problem),
+                measure_phases(&problem),
+                measure_sparse_assembly(scale, &problem),
+            )
+        });
 
     let doc = Value::obj(vec![
         ("bench", Value::Str("perf_trajectory".to_string())),
@@ -288,10 +364,11 @@ fn main() {
         ),
         ("phases", phases),
         ("kernels", kernels),
+        ("sparse_assembly", sparse_assembly),
         ("factorization", factorization),
     ]);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "7.json");
     if let Err(e) = std::fs::write(path, doc.to_json()) {
         fail(&format!("cannot write {path}: {e}"));
     }
@@ -324,6 +401,19 @@ fn main() {
             } else {
                 fail(&message);
             }
+        }
+    }
+
+    // Sparse-assembly gate: the boundary-restricted family must beat the dense
+    // explicit assembly by at least 1.5x at the pinned scale.  The quick-mode problem
+    // has a larger boundary fraction, so the CI smoke run only warns.
+    if sparse_speedup < 1.5 {
+        let message =
+            format!("sparse-RHS assembly speedup {sparse_speedup:.2}x is below the 1.5x gate");
+        if scale == BenchScale::Quick {
+            println!("warning ({scale_name} scale): {message}");
+        } else {
+            fail(&message);
         }
     }
 

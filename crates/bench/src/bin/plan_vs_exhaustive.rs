@@ -4,7 +4,10 @@
 //! pick and the ratio between them.
 //!
 //! The planner is considered validated when its pick stays within 2x of the measured
-//! optimum; the binary exits non-zero otherwise so it can serve as a gate.
+//! optimum; the binary exits non-zero otherwise so it can serve as a gate.  The
+//! exhaustive sweep runs [`DualOperatorApproach::all`], so the sparsity-aware
+//! explicit family (`expl sparse legacy/modern`) is enumerated and measured alongside
+//! the original nine approaches.
 
 use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale, Measurement};
 use feti_core::planner::Planner;

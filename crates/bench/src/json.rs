@@ -379,6 +379,21 @@ pub fn validate_perf_trajectory(doc: &Value) -> Result<(), String> {
         }
     }
 
+    let sparse =
+        doc.get("sparse_assembly").ok_or_else(|| "missing 'sparse_assembly'".to_string())?;
+    let dense_s = require_nonneg(sparse, "sparse_assembly", "dense_assemble_s")?;
+    let sparse_s = require_nonneg(sparse, "sparse_assembly", "sparse_assemble_s")?;
+    let speedup = require_nonneg(sparse, "sparse_assembly", "speedup")?;
+    if sparse_s > 0.0 && (speedup - dense_s / sparse_s).abs() > 1e-9 * speedup.max(1.0) {
+        return Err(format!(
+            "sparse_assembly: speedup {speedup} inconsistent with {dense_s}/{sparse_s}"
+        ));
+    }
+    let frac = require_nonneg(sparse, "sparse_assembly", "boundary_fraction")?;
+    if frac > 1.0 {
+        return Err(format!("sparse_assembly.boundary_fraction: above 1 ({frac})"));
+    }
+
     let fact = doc.get("factorization").ok_or_else(|| "missing 'factorization'".to_string())?;
     require_nonneg(fact, "factorization", "simplicial_s")?;
     require_nonneg(fact, "factorization", "supernodal_s")?;
@@ -466,6 +481,15 @@ mod tests {
                 ]),
             ),
             (
+                "sparse_assembly",
+                Value::obj(vec![
+                    ("dense_assemble_s", Value::Num(0.3)),
+                    ("sparse_assemble_s", Value::Num(0.1)),
+                    ("speedup", Value::Num(3.0)),
+                    ("boundary_fraction", Value::Num(0.35)),
+                ]),
+            ),
+            (
                 "factorization",
                 Value::obj(vec![
                     ("simplicial_s", Value::Num(0.2)),
@@ -505,6 +529,28 @@ mod tests {
                         }
                     });
                 }
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Missing sparse-assembly entry.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "sparse_assembly");
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Inconsistent sparse-assembly speedup.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(sa))) =
+                pairs.iter_mut().find(|(k, _)| k == "sparse_assembly")
+            {
+                sa.iter_mut().for_each(|(k, v)| {
+                    if k == "speedup" {
+                        *v = Value::Num(42.0);
+                    }
+                });
             }
         }
         assert!(validate_perf_trajectory(&doc).is_err());

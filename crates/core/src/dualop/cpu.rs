@@ -48,6 +48,9 @@ fn make_symbolic(
         DualOperatorApproach::ImplicitMkl | DualOperatorApproach::ExplicitMkl => {
             CpuSymbolic::Mkl(PardisoLike::analyze(&block.k_reg, opts))
         }
+        // Every other approach — including the GPU explicit families and the
+        // sparse-RHS family of arXiv 2509.21037, whose CPU-side numeric factorization
+        // runs through the same facade — analyzes with the CHOLMOD-like solver.
         _ => CpuSymbolic::Cholmod(CholmodLike::analyze(&block.k_reg, opts)),
     }
 }

@@ -1,5 +1,7 @@
 //! GPU-accelerated dual operator approaches: `impl legacy/modern`, `expl legacy/modern`
-//! (the paper's contribution) and the hybrid approach.
+//! (the paper's contribution), the sparsity-aware `expl sparse legacy/modern` family
+//! (the sequel's boundary-restricted assembly, arXiv 2509.21037) and the hybrid
+//! approach.
 //!
 //! All device work executes through `feti-gpu`: the numerics run on the host (exact
 //! results), the reported times come from the device cost model, and per-stream
@@ -378,8 +380,82 @@ fn assemble_local_on_gpu(
     Ok((f, gpu_ops))
 }
 
+/// Assembles one dense local dual operator through the sparsity-aware kernels of the
+/// sequel paper (arXiv 2509.21037): the right-hand side `P B̃ᵀ` has only
+/// `b.num_nonzero_cols()` boundary DOFs worth of structure, so the forward solve runs
+/// boundary-restricted (`sparse_rhs_trsm`) and the SYRK skips the leading zero blocks
+/// of the solved panels (`boundary_syrk`).
+///
+/// The sparse family always takes the SYRK path over a dense factor regardless of
+/// `params.path` / `params.*_factor_storage`: the boundary structure lives in the
+/// right-hand side, which only the forward solve can exploit — after a backward solve
+/// the panels are dense, and the sparse-factor TRSM has no dense panels to restrict.
+/// The memory-order parameters (`rhs_order`, `forward_factor_order`) are honoured.
+fn assemble_local_sparse_rhs_on_gpu(
+    device: &GpuDevice,
+    generation: CudaGeneration,
+    params: &ExplicitAssemblyParams,
+    block: &SubdomainBlock,
+    l_csc: &feti_sparse::CscMatrix,
+    perm: &Permutation,
+) -> crate::Result<(DenseMatrix, Vec<GpuCost>)> {
+    let spec = *device.spec();
+    let mut gpu_ops: Vec<GpuCost> = Vec::new();
+    let n = block.num_dofs();
+    let nl = block.num_local_lambdas();
+    let nb = block.b.num_nonzero_cols();
+
+    // Transfer the factor values and the gluing matrix to the device.
+    gpu_ops.push(cost::transfer(&spec, l_csc.nnz() * 12));
+    gpu_ops.push(cost::transfer(&spec, block.b.bytes()));
+
+    // B̃ Pᵀ, and its transpose as the dense right-hand side (done on the device).
+    let bp = perm.permute_cols(&block.b);
+    let bp_t = bp.transposed();
+    let _rhs_alloc = device.alloc_temporary(n * nl * 8)?;
+    let (mut x, conv_cost) = gsparse::sparse_to_dense(&spec, &bp_t, params.rhs_order);
+    gpu_ops.push(conv_cost);
+
+    // Boundary-restricted forward solve: L X = P B̃ᵀ over a dense factor.
+    let l_csr = l_csc.to_csr();
+    let _factor_guard = device.alloc_temporary(n * n * 8)?;
+    let (lf, c) = gsparse::sparse_to_dense(&spec, &l_csr, params.forward_factor_order);
+    gpu_ops.push(c);
+    gpu_ops.push(
+        gblas::sparse_rhs_trsm(
+            &spec,
+            generation,
+            Triangle::Lower,
+            Transpose::No,
+            DiagKind::NonUnit,
+            1.0,
+            &lf,
+            &mut x,
+            nb,
+        )
+        .expect("factor is nonsingular"),
+    );
+
+    // Boundary-restricted SYRK: F = Xᵀ X, skipping the zero prefixes of the panels.
+    let mut f = DenseMatrix::zeros(nl, nl, MemoryOrder::RowMajor);
+    gpu_ops.push(gblas::boundary_syrk(
+        &spec,
+        generation,
+        Triangle::Upper,
+        Transpose::Yes,
+        1.0,
+        &x,
+        0.0,
+        &mut f,
+        nb,
+    ));
+    f.symmetrize_from(Triangle::Upper);
+    Ok((f, gpu_ops))
+}
+
 /// Explicit assembly **and** application on the GPU — the approach contributed by the
-/// paper (`expl legacy` / `expl modern`).
+/// paper (`expl legacy` / `expl modern`) and its sparsity-aware sequel family
+/// (`expl sparse legacy` / `expl sparse modern`).
 pub struct ExplicitGpuOperator {
     approach: DualOperatorApproach,
     generation: CudaGeneration,
@@ -456,6 +532,14 @@ impl ExplicitGpuOperator {
     pub fn params(&self) -> &ExplicitAssemblyParams {
         &self.params
     }
+
+    /// The assembled dense local dual operator `F̃ᵢ` of subdomain `i`, or `None`
+    /// before `preprocess` has run.  Exposed so the conformance tier can compare the
+    /// sparse-RHS and dense assembly paths entry by entry.
+    #[must_use]
+    pub fn local_operator(&self, i: usize) -> Option<&DenseMatrix> {
+        self.f_local[i].as_ref()
+    }
 }
 
 impl DualOperator for ExplicitGpuOperator {
@@ -471,6 +555,11 @@ impl DualOperator for ExplicitGpuOperator {
         let device = &self.device;
         let generation = self.generation;
         let params = self.params;
+        let sparse_rhs = matches!(
+            self.approach,
+            DualOperatorApproach::ExplicitSparseGpuLegacy
+                | DualOperatorApproach::ExplicitSparseGpuModern
+        );
         // The workers race their temporary allocations against the shared pool here,
         // exactly as the paper's §IV-A describes: a worker whose request does not fit
         // blocks until another worker's RAII guard drops.
@@ -485,8 +574,13 @@ impl DualOperator for ExplicitGpuOperator {
                 let (l_csc, perm) = factor.extract_factor();
                 let cpu = start.elapsed().as_secs_f64();
                 // GPU part: conversions, TRSM/SYRK kernels (asynchronous submissions).
-                let (f, gpu_ops) =
-                    assemble_local_on_gpu(device, generation, &params, block, &l_csc, &perm)?;
+                let (f, gpu_ops) = if sparse_rhs {
+                    assemble_local_sparse_rhs_on_gpu(
+                        device, generation, &params, block, &l_csc, &perm,
+                    )?
+                } else {
+                    assemble_local_on_gpu(device, generation, &params, block, &l_csc, &perm)?
+                };
                 Ok((f, cpu, gpu_ops))
             })
             .collect::<crate::Result<Vec<_>>>()?;
@@ -862,6 +956,63 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_explicit_gpu_is_bit_identical_to_dense_explicit() {
+        let (blocks, nl) = blocks();
+        // Pin the op sequence both families execute: SYRK path over a dense factor.
+        let params = ExplicitAssemblyParams {
+            path: Path::Syrk,
+            forward_factor_storage: FactorStorage::Dense,
+            ..Default::default()
+        };
+        for (sparse_approach, dense_approach) in [
+            (
+                DualOperatorApproach::ExplicitSparseGpuLegacy,
+                DualOperatorApproach::ExplicitGpuLegacy,
+            ),
+            (
+                DualOperatorApproach::ExplicitSparseGpuModern,
+                DualOperatorApproach::ExplicitGpuModern,
+            ),
+        ] {
+            let mut dense =
+                ExplicitGpuOperator::new(dense_approach, blocks.clone(), nl, params).unwrap();
+            let mut sparse =
+                ExplicitGpuOperator::new(sparse_approach, blocks.clone(), nl, params).unwrap();
+            let td = dense.preprocess().unwrap();
+            let ts = sparse.preprocess().unwrap();
+            for i in 0..blocks.len() {
+                let fd = dense.local_operator(i).unwrap();
+                let fs = sparse.local_operator(i).unwrap();
+                for r in 0..fd.nrows() {
+                    for c in 0..fd.ncols() {
+                        assert_eq!(
+                            fd.get(r, c).to_bits(),
+                            fs.get(r, c).to_bits(),
+                            "{sparse_approach:?} F̃[{i}]({r},{c}) must match bit-for-bit"
+                        );
+                    }
+                }
+            }
+            // The modelled assembly must not be slower than the dense explicit one
+            // (gpu_seconds is the deterministic sum of modelled op costs).
+            assert!(
+                ts.gpu_seconds <= td.gpu_seconds + 1e-15,
+                "{sparse_approach:?}: sparse assembly {} vs dense {}",
+                ts.gpu_seconds,
+                td.gpu_seconds
+            );
+            let p: Vec<f64> = (0..nl).map(|i| ((i % 7) as f64) * 0.23 - 0.6).collect();
+            let mut qd = vec![0.0; nl];
+            let mut qs = vec![0.0; nl];
+            dense.apply(&p, &mut qd);
+            sparse.apply(&p, &mut qs);
+            for (a, b) in qd.iter().zip(&qs) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{sparse_approach:?} F·p must match");
             }
         }
     }

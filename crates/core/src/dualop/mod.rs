@@ -1,4 +1,5 @@
-//! The dual operator `F = B K⁺ Bᵀ` and its nine implementations (Table III).
+//! The dual operator `F = B K⁺ Bᵀ` and its eleven implementations: the nine of
+//! Table III plus the sparsity-aware explicit family of the sequel (arXiv 2509.21037).
 //!
 //! All implementations expose the same [`DualOperator`] trait: a `preprocess` step
 //! (numeric factorization and, for explicit approaches, assembly of the dense local
@@ -246,7 +247,10 @@ pub fn build_dual_operator_with_options(
                 solver_options,
             )?))
         }
-        DualOperatorApproach::ExplicitGpuLegacy | DualOperatorApproach::ExplicitGpuModern => {
+        DualOperatorApproach::ExplicitGpuLegacy
+        | DualOperatorApproach::ExplicitGpuModern
+        | DualOperatorApproach::ExplicitSparseGpuLegacy
+        | DualOperatorApproach::ExplicitSparseGpuModern => {
             Ok(Box::new(gpu::ExplicitGpuOperator::new_with_options(
                 approach,
                 blocks,

@@ -3,9 +3,10 @@
 //!
 //! The crate provides:
 //!
-//! * the nine dual-operator approaches of Table III (implicit/explicit ×
-//!   CPU-MKL-like/CPU-CHOLMOD-like/GPU-legacy/GPU-modern, plus the hybrid approach),
-//!   all behind the [`DualOperator`] trait;
+//! * the eleven dual-operator approaches: the nine of Table III (implicit/explicit ×
+//!   CPU-MKL-like/CPU-CHOLMOD-like/GPU-legacy/GPU-modern, plus the hybrid approach)
+//!   and the sparsity-aware explicit GPU family of the sequel (arXiv 2509.21037), all
+//!   behind the [`DualOperator`] trait;
 //! * the explicit-assembly parameter space of Table I ([`ExplicitAssemblyParams`]) and
 //!   the Table-II auto-configuration ([`ExplicitAssemblyParams::auto_configure`]);
 //! * the preconditioned conjugate projected gradient solver (Algorithm 1), the natural

@@ -5,7 +5,8 @@ use feti_gpu::CudaGeneration;
 use feti_mesh::Dim;
 use feti_sparse::MemoryOrder;
 
-/// The nine dual-operator approaches compared in Table III of the paper.
+/// The eleven dual-operator approaches: the nine compared in Table III of the paper
+/// plus the sparsity-aware explicit family of the sequel (arXiv 2509.21037).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DualOperatorApproach {
     /// Implicit application with the MKL-PARDISO-like CPU solver.
@@ -29,15 +30,23 @@ pub enum DualOperatorApproach {
     /// Explicit assembly and application on the GPU, modern CUDA libraries
     /// (the paper's contribution).
     ExplicitGpuModern,
+    /// Explicit assembly on the GPU with boundary-restricted (sparse-RHS) TRSM/SYRK,
+    /// legacy CUDA libraries — the sequel paper's sparsity-aware assembly
+    /// (arXiv 2509.21037).
+    ExplicitSparseGpuLegacy,
+    /// Explicit assembly on the GPU with boundary-restricted (sparse-RHS) TRSM/SYRK,
+    /// modern CUDA libraries.
+    ExplicitSparseGpuModern,
     /// Hybrid: explicit assembly on the CPU (MKL-like Schur complement), application on
     /// the GPU — the approach of the earlier acceleration attempts the paper cites.
     ExplicitHybrid,
 }
 
 impl DualOperatorApproach {
-    /// All approaches, in the order of Table III.
+    /// All approaches: Table III's nine in order, with the sparsity-aware family
+    /// inserted after its dense explicit-GPU counterparts.
     #[must_use]
-    pub fn all() -> [DualOperatorApproach; 9] {
+    pub fn all() -> [DualOperatorApproach; 11] {
         [
             DualOperatorApproach::ImplicitMkl,
             DualOperatorApproach::ImplicitCholmod,
@@ -47,6 +56,8 @@ impl DualOperatorApproach {
             DualOperatorApproach::ExplicitCholmod,
             DualOperatorApproach::ExplicitGpuLegacy,
             DualOperatorApproach::ExplicitGpuModern,
+            DualOperatorApproach::ExplicitSparseGpuLegacy,
+            DualOperatorApproach::ExplicitSparseGpuModern,
             DualOperatorApproach::ExplicitHybrid,
         ]
     }
@@ -63,6 +74,8 @@ impl DualOperatorApproach {
             DualOperatorApproach::ExplicitCholmod => "expl cholmod",
             DualOperatorApproach::ExplicitGpuLegacy => "expl legacy",
             DualOperatorApproach::ExplicitGpuModern => "expl modern",
+            DualOperatorApproach::ExplicitSparseGpuLegacy => "expl sparse legacy",
+            DualOperatorApproach::ExplicitSparseGpuModern => "expl sparse modern",
             DualOperatorApproach::ExplicitHybrid => "expl hybrid",
         }
     }
@@ -76,6 +89,8 @@ impl DualOperatorApproach {
                 | DualOperatorApproach::ExplicitCholmod
                 | DualOperatorApproach::ExplicitGpuLegacy
                 | DualOperatorApproach::ExplicitGpuModern
+                | DualOperatorApproach::ExplicitSparseGpuLegacy
+                | DualOperatorApproach::ExplicitSparseGpuModern
                 | DualOperatorApproach::ExplicitHybrid
         )
     }
@@ -89,6 +104,8 @@ impl DualOperatorApproach {
                 | DualOperatorApproach::ImplicitGpuModern
                 | DualOperatorApproach::ExplicitGpuLegacy
                 | DualOperatorApproach::ExplicitGpuModern
+                | DualOperatorApproach::ExplicitSparseGpuLegacy
+                | DualOperatorApproach::ExplicitSparseGpuModern
                 | DualOperatorApproach::ExplicitHybrid
         )
     }
@@ -97,11 +114,12 @@ impl DualOperatorApproach {
     #[must_use]
     pub fn generation(self) -> Option<CudaGeneration> {
         match self {
-            DualOperatorApproach::ImplicitGpuLegacy | DualOperatorApproach::ExplicitGpuLegacy => {
-                Some(CudaGeneration::Legacy)
-            }
+            DualOperatorApproach::ImplicitGpuLegacy
+            | DualOperatorApproach::ExplicitGpuLegacy
+            | DualOperatorApproach::ExplicitSparseGpuLegacy => Some(CudaGeneration::Legacy),
             DualOperatorApproach::ImplicitGpuModern
             | DualOperatorApproach::ExplicitGpuModern
+            | DualOperatorApproach::ExplicitSparseGpuModern
             | DualOperatorApproach::ExplicitHybrid => Some(CudaGeneration::Modern),
             _ => None,
         }
@@ -263,7 +281,7 @@ mod tests {
     fn all_approaches_have_unique_labels() {
         let labels: std::collections::HashSet<_> =
             DualOperatorApproach::all().iter().map(|a| a.label()).collect();
-        assert_eq!(labels.len(), 9);
+        assert_eq!(labels.len(), 11);
     }
 
     #[test]
@@ -274,6 +292,16 @@ mod tests {
         assert!(!DualOperatorApproach::ImplicitMkl.uses_gpu());
         assert!(DualOperatorApproach::ExplicitHybrid.is_explicit());
         assert!(DualOperatorApproach::ExplicitHybrid.uses_gpu());
+        assert!(DualOperatorApproach::ExplicitSparseGpuLegacy.is_explicit());
+        assert!(DualOperatorApproach::ExplicitSparseGpuLegacy.uses_gpu());
+        assert_eq!(
+            DualOperatorApproach::ExplicitSparseGpuLegacy.generation(),
+            Some(CudaGeneration::Legacy)
+        );
+        assert_eq!(
+            DualOperatorApproach::ExplicitSparseGpuModern.generation(),
+            Some(CudaGeneration::Modern)
+        );
         assert_eq!(
             DualOperatorApproach::ImplicitGpuLegacy.generation(),
             Some(CudaGeneration::Legacy)

@@ -1,6 +1,6 @@
 //! Cost-model-driven selection of the dual-operator approach.
 //!
-//! §V of the paper answers "which of the nine approaches should I run?" empirically,
+//! §V of the paper answers "which of the eleven approaches should I run?" empirically,
 //! and [`ExplicitAssemblyParams::auto_configure`] hard-codes the resulting Table-II
 //! recommendations.  The [`Planner`] answers the same question *a priori*: given a
 //! decomposed problem and a device description it estimates, without executing
@@ -92,6 +92,9 @@ struct SubdomainShape {
     nl: usize,
     /// Stored entries of the local gluing matrix `B̃ᵢ`.
     nnz_b: usize,
+    /// Distinct nonzero columns of `B̃ᵢ` — the subdomain's boundary-DOF count, which
+    /// prices the sparsity-aware assembly kernels (arXiv 2509.21037).
+    nb: usize,
     /// Device footprint of `B̃ᵢ` in bytes.
     b_bytes: usize,
     /// Symbolic factor size of the CHOLMOD-like solver (used by all GPU approaches).
@@ -191,6 +194,7 @@ impl<'a> Planner<'a> {
                     n: sd.num_dofs(),
                     nl: sd.num_local_lambdas(),
                     nnz_b: sd.gluing.nnz(),
+                    nb: sd.gluing.num_nonzero_cols(),
                     b_bytes: sd.gluing.bytes(),
                     fnnz_cholmod: cholmod.factor_nnz(),
                     nsuper_cholmod: cholmod.num_supernodes(),
@@ -366,6 +370,18 @@ impl<'a> Planner<'a> {
                 }
                 self.record_explicit_apply(&mut app, &params);
             }
+            DualOperatorApproach::ExplicitSparseGpuLegacy
+            | DualOperatorApproach::ExplicitSparseGpuModern => {
+                for (i, s) in self.shapes.iter().enumerate() {
+                    let fnnz = s.fnnz_cholmod;
+                    pre.record_subdomain(
+                        i,
+                        self.host_factorize(fnnz, s, kind),
+                        &self.sparse_assembly_ops(generation, s),
+                    );
+                }
+                self.record_explicit_apply(&mut app, &params);
+            }
             DualOperatorApproach::ExplicitHybrid => {
                 for (i, s) in self.shapes.iter().enumerate() {
                     let fnnz = s.fnnz_mkl;
@@ -486,6 +502,23 @@ impl<'a> Planner<'a> {
         ops
     }
 
+    /// The device operations one sparsity-aware explicit assembly submits per
+    /// subdomain — mirrors `assemble_local_sparse_rhs_on_gpu` exactly.  The sparse
+    /// family pins the SYRK path over a dense factor (the boundary structure lives in
+    /// the right-hand side, which only the forward solve can exploit), so the op list
+    /// is fixed and independent of the parameter set.
+    fn sparse_assembly_ops(&self, generation: CudaGeneration, s: &SubdomainShape) -> Vec<GpuCost> {
+        let fnnz = s.fnnz_cholmod;
+        vec![
+            cost::transfer(&self.gpu, fnnz * 12),
+            cost::transfer(&self.gpu, s.b_bytes),
+            cost::sparse_to_dense(&self.gpu, s.nnz_b, s.n, s.nl),
+            cost::sparse_to_dense(&self.gpu, fnnz, s.n, s.n),
+            cost::sparse_rhs_trsm(&self.gpu, generation, s.n, s.nl, s.nb),
+            cost::boundary_syrk(&self.gpu, generation, s.nl, s.n, s.nb),
+        ]
+    }
+
     /// Records one explicit application phase — mirrors `apply_explicit_on_gpu`.
     fn record_explicit_apply(&self, app: &mut PhaseScheduler, params: &ExplicitAssemblyParams) {
         let nl_global = self.problem.num_lambdas;
@@ -539,7 +572,9 @@ impl<'a> Planner<'a> {
                 DualOperatorApproach::ImplicitGpuLegacy
                 | DualOperatorApproach::ImplicitGpuModern => factor_bytes + s.b_bytes + s.n * 16,
                 DualOperatorApproach::ExplicitGpuLegacy
-                | DualOperatorApproach::ExplicitGpuModern => {
+                | DualOperatorApproach::ExplicitGpuModern
+                | DualOperatorApproach::ExplicitSparseGpuLegacy
+                | DualOperatorApproach::ExplicitSparseGpuModern => {
                     let ws = match generation {
                         CudaGeneration::Legacy => s.n * 16,
                         CudaGeneration::Modern => 2 * factor_bytes + 2 * s.n * s.nl * 8,
@@ -612,6 +647,8 @@ mod tests {
             DualOperatorApproach::ImplicitGpuModern,
             DualOperatorApproach::ExplicitGpuLegacy,
             DualOperatorApproach::ExplicitGpuModern,
+            DualOperatorApproach::ExplicitSparseGpuLegacy,
+            DualOperatorApproach::ExplicitSparseGpuModern,
             DualOperatorApproach::ExplicitHybrid,
         ] {
             let params = ExplicitAssemblyParams::auto_configure(

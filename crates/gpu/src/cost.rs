@@ -215,6 +215,83 @@ pub fn sparse_trsm(
     GpuCost { seconds: t, bytes_moved: traffic, flops }
 }
 
+/// Fraction of the dense kernel's work the boundary-restricted assembly kernels still
+/// pay on rows outside the boundary set, per CUDA generation.
+///
+/// The sparsity-aware TRSM/SYRK (sequel paper, arXiv 2509.21037) skip the exact-zero
+/// prefix of every right-hand-side column, but the skipped region is not free: panel
+/// bookkeeping, ragged memory access and the level-structure of the gather all leave a
+/// residual slope.  The modern generic API pays more of it (less mature sparse-RHS
+/// support), mirroring the legacy-vs-modern split of the sparse triangular solve.
+const SPARSE_RHS_SLACK_LEGACY: f64 = 0.10;
+/// See [`SPARSE_RHS_SLACK_LEGACY`].
+const SPARSE_RHS_SLACK_MODERN: f64 = 0.35;
+
+/// The work fraction `w ∈ (0, 1]` of a boundary-restricted kernel relative to its
+/// dense counterpart: the boundary fraction plus the generation's slack on the
+/// skipped remainder.  Equals exactly `1.0` when every row is boundary, and is
+/// monotone nondecreasing in `boundary_rows`.
+fn boundary_work_fraction(
+    generation: crate::CudaGeneration,
+    n: usize,
+    boundary_rows: usize,
+) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let frac = (boundary_rows as f64 / n as f64).clamp(0.0, 1.0);
+    let slack = match generation {
+        crate::CudaGeneration::Legacy => SPARSE_RHS_SLACK_LEGACY,
+        crate::CudaGeneration::Modern => SPARSE_RHS_SLACK_MODERN,
+    };
+    frac + (1.0 - frac) * slack
+}
+
+/// Cost of a boundary-restricted dense triangular solve ([`dense_trsm`] shape) whose
+/// right-hand-side columns are nonzero only below `boundary_rows` distinct rows of the
+/// `n x n` factor.
+///
+/// Both the flop and byte volume scale with the generation's work fraction; with
+/// `boundary_rows == n` this degenerates exactly to [`dense_trsm`], and for any
+/// boundary count it never exceeds it.
+#[must_use]
+pub fn sparse_rhs_trsm(
+    spec: &GpuSpec,
+    generation: crate::CudaGeneration,
+    n: usize,
+    nrhs: usize,
+    boundary_rows: usize,
+) -> GpuCost {
+    let w = boundary_work_fraction(generation, n, boundary_rows);
+    let nf = n as f64;
+    let rf = nrhs as f64;
+    let flops = nf * nf * rf * w;
+    let bytes = (nf * nf / 2.0 + 2.0 * nf * rf) * 8.0 * w;
+    roofline(spec, bytes, flops)
+}
+
+/// Cost of a boundary-restricted SYRK ([`syrk`] shape, `n x n` result from a `k x n`
+/// operand) whose operand rows are zero above the first of `boundary_rows` distinct
+/// boundary indices of the contraction dimension `k`.
+///
+/// With `boundary_rows == k` this degenerates exactly to [`syrk`]; it is monotone in
+/// the boundary count and never exceeds the dense kernel.
+#[must_use]
+pub fn boundary_syrk(
+    spec: &GpuSpec,
+    generation: crate::CudaGeneration,
+    n: usize,
+    k: usize,
+    boundary_rows: usize,
+) -> GpuCost {
+    let w = boundary_work_fraction(generation, k, boundary_rows);
+    let nf = n as f64;
+    let kf = k as f64;
+    let flops = nf * nf * kf * w;
+    let bytes = (kf * nf * w + nf * nf / 2.0) * 8.0;
+    roofline(spec, bytes, flops)
+}
+
 /// Cost of converting a sparse matrix (nnz entries) to a dense `rows x cols` matrix on
 /// the device.
 #[must_use]
@@ -349,6 +426,50 @@ mod tests {
         assert!(b_wide < b_simp);
         let (b_degenerate, _) = host_factor_work_supernodal(fnnz, n, n);
         assert_eq!(b_degenerate, b_simp);
+    }
+
+    #[test]
+    fn boundary_kernels_degenerate_to_dense_at_full_boundary() {
+        let s = spec();
+        for generation in [crate::CudaGeneration::Legacy, crate::CudaGeneration::Modern] {
+            let (n, nrhs) = (3000usize, 700usize);
+            assert_eq!(sparse_rhs_trsm(&s, generation, n, nrhs, n), dense_trsm(&s, n, nrhs));
+            assert_eq!(boundary_syrk(&s, generation, nrhs, n, n), syrk(&s, nrhs, n));
+            // Degenerate shapes never divide by zero.
+            assert!(sparse_rhs_trsm(&s, generation, 0, 0, 0).seconds.is_finite());
+            assert!(boundary_syrk(&s, generation, 0, 0, 0).seconds.is_finite());
+        }
+    }
+
+    #[test]
+    fn boundary_kernels_are_monotone_and_never_exceed_dense() {
+        let s = spec();
+        let (n, nrhs) = (4000usize, 900usize);
+        for generation in [crate::CudaGeneration::Legacy, crate::CudaGeneration::Modern] {
+            let mut prev = 0.0;
+            for nb in [0usize, 1, 10, 100, 1000, n] {
+                let t = sparse_rhs_trsm(&s, generation, n, nrhs, nb);
+                let y = boundary_syrk(&s, generation, nrhs, n, nb);
+                assert!(t.seconds >= prev, "trsm monotone in boundary count");
+                assert!(t.seconds <= dense_trsm(&s, n, nrhs).seconds + 1e-15);
+                assert!(y.seconds <= syrk(&s, nrhs, n).seconds + 1e-15);
+                prev = t.seconds;
+            }
+        }
+    }
+
+    #[test]
+    fn modern_generation_keeps_more_of_the_dense_cost() {
+        // The slack factor mirrors the sparse-TRSM story: the modern API exploits the
+        // right-hand-side sparsity less effectively than the legacy one.
+        let s = spec();
+        let (n, nrhs, nb) = (4000usize, 900usize, 60usize);
+        let legacy = sparse_rhs_trsm(&s, crate::CudaGeneration::Legacy, n, nrhs, nb);
+        let modern = sparse_rhs_trsm(&s, crate::CudaGeneration::Modern, n, nrhs, nb);
+        assert!(modern.seconds > legacy.seconds);
+        let legacy = boundary_syrk(&s, crate::CudaGeneration::Legacy, nrhs, n, nb);
+        let modern = boundary_syrk(&s, crate::CudaGeneration::Modern, nrhs, n, nb);
+        assert!(modern.seconds > legacy.seconds);
     }
 
     #[test]

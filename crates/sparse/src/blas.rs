@@ -17,6 +17,16 @@
 //! from changing the arithmetic.  As a consequence the results are also invariant
 //! under the configured block size, which makes the nondeterministic autotune probe
 //! (see [`kernel_block_size`]) safe under the repo's bit-identical conformance suite.
+//!
+//! # Sparsity-aware variants
+//!
+//! [`sparse_rhs_trsm`] and [`boundary_syrk`] are boundary-restricted counterparts of
+//! [`trsm`] and [`syrk`] for operands whose columns (respectively contraction rows)
+//! carry long exact-zero prefixes — the shape of `B̃ᵀ` in the explicit FETI assembly,
+//! where each multiplier touches only a handful of boundary DOFs.  They skip work that
+//! provably multiplies by stored zeros and agree with the dense kernels to ≤ 4 ulps in
+//! general (bit-for-bit when the inactive entries are `+0.0`, the case produced by
+//! sparse-to-dense conversion).
 
 use crate::dense::DenseMatrix;
 use crate::{DiagKind, MemoryOrder, Result, Side, SparseError, Transpose, Triangle};
@@ -541,8 +551,23 @@ pub fn trsv(
 /// that of [`trsv`] on an effectively-lower `op(A)` (ascending subtraction order, one
 /// division per element); the panel only shares the loads of the factor.
 fn trsm_panel_forward<const W: usize>(e: &[f64], n: usize, diag: DiagKind, x: &mut [f64]) {
+    trsm_panel_forward_from::<W>(e, n, 0, diag, x);
+}
+
+/// [`trsm_panel_forward`] restricted to rows `start..n`: rows before `start` are
+/// neither read nor written.  With `start == 0` this is the dense panel; a positive
+/// `start` is valid whenever every panel column is exactly zero above `start`, in
+/// which case the skipped subtraction terms multiply stored zeros and the result
+/// matches the dense solve (bit-for-bit when those zeros are `+0.0`).
+fn trsm_panel_forward_from<const W: usize>(
+    e: &[f64],
+    n: usize,
+    start: usize,
+    diag: DiagKind,
+    x: &mut [f64],
+) {
     debug_assert_eq!(x.len(), n * W);
-    for i in 0..n {
+    for i in start..n {
         let row = &e[i * n..i * n + i + 1];
         let mut acc = [0.0f64; W];
         acc.copy_from_slice(&x[i * W..i * W + W]);
@@ -550,7 +575,7 @@ fn trsm_panel_forward<const W: usize>(e: &[f64], n: usize, diag: DiagKind, x: &m
         // operand; the zip elides bounds checks and the W accumulator chains are
         // independent, so the lanes vectorize without reassociating any single
         // column's subtraction order.
-        for (&l, xs) in row[..i].iter().zip(x.chunks_exact(W)) {
+        for (&l, xs) in row[start..i].iter().zip(x[start * W..].chunks_exact(W)) {
             for c in 0..W {
                 acc[c] -= l * xs[c];
             }
@@ -570,12 +595,25 @@ fn trsm_panel_forward<const W: usize>(e: &[f64], n: usize, diag: DiagKind, x: &m
 
 /// Backward-substitution counterpart of [`trsm_panel_forward`].
 fn trsm_panel_backward<const W: usize>(e: &[f64], n: usize, diag: DiagKind, x: &mut [f64]) {
+    trsm_panel_backward_to::<W>(e, n, n, diag, x);
+}
+
+/// [`trsm_panel_backward`] restricted to rows `0..end`: rows at or below `end` are
+/// neither read nor written (valid whenever every panel column is exactly zero from
+/// `end` downward — the mirror of [`trsm_panel_forward_from`]).
+fn trsm_panel_backward_to<const W: usize>(
+    e: &[f64],
+    n: usize,
+    end: usize,
+    diag: DiagKind,
+    x: &mut [f64],
+) {
     debug_assert_eq!(x.len(), n * W);
-    for i in (0..n).rev() {
-        let row = &e[i * n..(i + 1) * n];
+    for i in (0..end).rev() {
+        let row = &e[i * n..i * n + end];
         let mut acc = [0.0f64; W];
         acc.copy_from_slice(&x[i * W..i * W + W]);
-        for (&l, xs) in row[i + 1..].iter().zip(x[(i + 1) * W..].chunks_exact(W)) {
+        for (&l, xs) in row[i + 1..].iter().zip(x[(i + 1) * W..end * W].chunks_exact(W)) {
             for c in 0..W {
                 acc[c] -= l * xs[c];
             }
@@ -584,7 +622,7 @@ fn trsm_panel_backward<const W: usize>(e: &[f64], n: usize, diag: DiagKind, x: &
         match diag {
             DiagKind::Unit => out.copy_from_slice(&acc),
             DiagKind::NonUnit => {
-                let d = row[i];
+                let d = e[i * n + i];
                 for c in 0..W {
                     out[c] = acc[c] / d;
                 }
@@ -676,6 +714,243 @@ pub fn trsm(
         j0 += w;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------------
+// Sparse-RHS TRSM / boundary SYRK: boundary-restricted assembly kernels.
+// ---------------------------------------------------------------------------------
+
+/// Per-column active row ranges of a dense right-hand side: for each column the index
+/// of its first nonzero row and one past its last nonzero row (`(n, 0)` for an
+/// all-zero column).
+///
+/// This is the gather/scatter layer's analysis step for the boundary-restricted
+/// assembly: the columns of `B̃ᵀ` are the local multipliers, each touching only a few
+/// boundary DOFs, so under a fill-reducing permutation the active range is a short
+/// suffix (forward solves) or prefix (backward solves) of the column.
+#[must_use]
+pub fn column_active_ranges(b: &DenseMatrix) -> Vec<(usize, usize)> {
+    let n = b.nrows();
+    (0..b.ncols())
+        .map(|j| {
+            let start = (0..n).find(|&i| b.get(i, j) != 0.0).unwrap_or(n);
+            let end = (0..n).rev().find(|&i| b.get(i, j) != 0.0).map_or(0, |i| i + 1);
+            (start, end)
+        })
+        .collect()
+}
+
+/// Sparse-right-hand-side variant of [`trsm`]: solves `op(A) * X = alpha * B` exactly
+/// like the dense kernel, but restricts each solve panel to the rows where its
+/// columns can be nonzero.
+///
+/// The kernel scans `B` for per-column active ranges ([`column_active_ranges`]),
+/// gathers the columns into four-wide interleaved panels in order of their active
+/// bound (so columns with similar sparsity share a panel), solves only rows from the
+/// panel's first possible nonzero onward (forward substitution; the mirror for
+/// backward), and scatters the boundary rows back.  Rows outside a column's active
+/// range hold an exactly-zero solution and are left untouched beyond the `alpha`
+/// scaling.
+///
+/// Agreement with [`trsm`]: ≤ 4 ulps always (differences are confined to the sign of
+/// exact zeros), and bit-for-bit when the inactive entries of `B` are `+0.0` and the
+/// effective diagonal of `op(A)` is positive — the explicit-assembly case, where `B`
+/// comes from a sparse-to-dense conversion and `A` is a Cholesky factor.
+///
+/// # Errors
+/// Returns [`SparseError::SingularDiagonal`] for the same diagonal index as [`trsm`]
+/// (the scan covers skipped rows too, so error behavior is identical).
+pub fn sparse_rhs_trsm(
+    uplo: Triangle,
+    trans: Transpose,
+    diag: DiagKind,
+    alpha: f64,
+    a: &DenseMatrix,
+    b: &mut DenseMatrix,
+) -> Result<()> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "sparse_rhs_trsm: A must be square");
+    assert_eq!(b.nrows(), n, "sparse_rhs_trsm: B has wrong row count");
+    let ncols = b.ncols();
+
+    if alpha != 1.0 {
+        for v in b.as_mut_slice() {
+            *v *= alpha;
+        }
+    }
+    if n == 0 || ncols == 0 {
+        return Ok(());
+    }
+
+    let effective_lower = match (uplo, trans) {
+        (Triangle::Lower, Transpose::No) | (Triangle::Upper, Transpose::Yes) => true,
+        (Triangle::Upper, Transpose::No) | (Triangle::Lower, Transpose::Yes) => false,
+    };
+    let e = materialize_op_rowmajor(a, trans);
+    // Same value-only pre-scan as the dense kernel, in the same order, over the full
+    // diagonal: a singular pivot is reported even when it sits in a skipped region.
+    if diag == DiagKind::NonUnit {
+        let scan: Box<dyn Iterator<Item = usize>> =
+            if effective_lower { Box::new(0..n) } else { Box::new((0..n).rev()) };
+        for i in scan {
+            if e[i * n + i] == 0.0 {
+                return Err(SparseError::SingularDiagonal { index: i });
+            }
+        }
+    }
+
+    // Gather step: order the columns by their active bound so panels stay tight.
+    let ranges = column_active_ranges(b);
+    let mut order: Vec<usize> = (0..ncols).collect();
+    if effective_lower {
+        order.sort_by_key(|&j| ranges[j].0);
+    } else {
+        order.sort_by_key(|&j| std::cmp::Reverse(ranges[j].1));
+    }
+
+    let mut xbuf = vec![0.0; n * 4];
+    let mut q0 = 0;
+    while q0 < ncols {
+        let w = (ncols - q0).min(4);
+        let cols = &order[q0..q0 + w];
+        // The panel's row range must cover every member column; the sort makes the
+        // widest member come first.
+        let (lo, hi) =
+            if effective_lower { (ranges[cols[0]].0, n) } else { (0, ranges[cols[0]].1) };
+        if lo >= hi {
+            // Entirely zero columns: the solution is the (scaled) zero input.
+            q0 += w;
+            continue;
+        }
+        for (c, &j) in cols.iter().enumerate() {
+            for i in lo..hi {
+                xbuf[i * w + c] = b.get(i, j);
+            }
+        }
+        let seg = &mut xbuf[..w * n];
+        match (effective_lower, w) {
+            (true, 4) => trsm_panel_forward_from::<4>(&e, n, lo, diag, seg),
+            (true, 3) => trsm_panel_forward_from::<3>(&e, n, lo, diag, seg),
+            (true, 2) => trsm_panel_forward_from::<2>(&e, n, lo, diag, seg),
+            (true, _) => trsm_panel_forward_from::<1>(&e, n, lo, diag, seg),
+            (false, 4) => trsm_panel_backward_to::<4>(&e, n, hi, diag, seg),
+            (false, 3) => trsm_panel_backward_to::<3>(&e, n, hi, diag, seg),
+            (false, 2) => trsm_panel_backward_to::<2>(&e, n, hi, diag, seg),
+            (false, _) => trsm_panel_backward_to::<1>(&e, n, hi, diag, seg),
+        }
+        // Scatter step: only the solved boundary rows go back.
+        for (c, &j) in cols.iter().enumerate() {
+            for i in lo..hi {
+                b.set(i, j, xbuf[i * w + c]);
+            }
+        }
+        q0 += w;
+    }
+    Ok(())
+}
+
+/// Boundary-restricted variant of [`syrk`]: `C = alpha * op(A) * op(A)^T + beta * C`
+/// skipping the exact-zero prefix of every row of `op(A)` along the contraction
+/// dimension.
+///
+/// After the forward solve of the explicit assembly the rows of `Xᵀ` (one per local
+/// multiplier) are zero up to the multiplier's first boundary DOF, so the inner
+/// product for `C(i, j)` can start at the later of the two rows' first nonzeros.
+/// Every skipped product multiplies a stored zero, and each accumulator starts at a
+/// literal `+0.0`, so the result is bit-for-bit identical to [`syrk`].
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn boundary_syrk(
+    uplo: Triangle,
+    trans: Transpose,
+    alpha: f64,
+    a: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+) {
+    boundary_syrk_with_block(uplo, trans, alpha, a, beta, c, kernel_block_size());
+}
+
+fn boundary_syrk_with_block(
+    uplo: Triangle,
+    trans: Transpose,
+    alpha: f64,
+    a: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+    nb: usize,
+) {
+    let (n, kdim) = op_dims(a, trans);
+    assert_eq!(c.nrows(), n, "boundary_syrk: C has wrong row count");
+    assert_eq!(c.ncols(), n, "boundary_syrk: C has wrong column count");
+    let r = materialize_op_rowmajor(a, trans);
+
+    // First nonzero of every row of op(A) along the contraction dimension.
+    let starts: Vec<usize> = (0..n)
+        .map(|i| {
+            let ri = &r[i * kdim..(i + 1) * kdim];
+            ri.iter().position(|&v| v != 0.0).unwrap_or(kdim)
+        })
+        .collect();
+
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + nb).min(n);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + nb).min(n);
+            for i in i0..i1 {
+                // Clip the block's column range to the stored triangle of C.
+                let (jlo, jhi) = match uplo {
+                    Triangle::Upper => (j0.max(i), j1),
+                    Triangle::Lower => (j0, j1.min(i + 1)),
+                };
+                if jlo >= jhi {
+                    continue;
+                }
+                let ri = &r[i * kdim..(i + 1) * kdim];
+                let si = starts[i];
+                let mut j = jlo;
+                while j + 4 <= jhi {
+                    let rj0 = &r[j * kdim..(j + 1) * kdim];
+                    let rj1 = &r[(j + 1) * kdim..(j + 2) * kdim];
+                    let rj2 = &r[(j + 2) * kdim..(j + 3) * kdim];
+                    let rj3 = &r[(j + 3) * kdim..(j + 4) * kdim];
+                    // The shared start must cover all four columns of the tile; lanes
+                    // whose own start is later just add exact zeros to a +0.0
+                    // accumulator, which is still bit-identical.
+                    let p0 =
+                        si.max(starts[j].min(starts[j + 1]).min(starts[j + 2]).min(starts[j + 3]));
+                    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                    for p in p0..kdim {
+                        let av = ri[p];
+                        a0 += av * rj0[p];
+                        a1 += av * rj1[p];
+                        a2 += av * rj2[p];
+                        a3 += av * rj3[p];
+                    }
+                    for (q, acc) in [a0, a1, a2, a3].into_iter().enumerate() {
+                        let old = c.get(i, j + q);
+                        c.set(i, j + q, alpha * acc + beta * old);
+                    }
+                    j += 4;
+                }
+                while j < jhi {
+                    let rj = &r[j * kdim..(j + 1) * kdim];
+                    let mut acc = 0.0;
+                    for p in si.max(starts[j])..kdim {
+                        acc += ri[p] * rj[p];
+                    }
+                    let old = c.get(i, j);
+                    c.set(i, j, alpha * acc + beta * old);
+                    j += 1;
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -1203,5 +1478,138 @@ mod tests {
         trsm(Triangle::Lower, Transpose::No, DiagKind::Unit, 1.0, &a, &mut b).unwrap();
         assert_eq!(b.get(0, 0), 1.0);
         assert_eq!(b.get(1, 0), 2.0);
+    }
+
+    /// A right-hand side whose column `j` is exactly `+0.0` outside its active range
+    /// (a rotating window), mimicking the dense image of a sparse `B̃ᵀ`.
+    fn boundary_rhs(n: usize, ncols: usize, order: MemoryOrder, seed: usize) -> DenseMatrix {
+        let mut b = DenseMatrix::zeros(n, ncols, order);
+        if n == 0 {
+            return b;
+        }
+        for j in 0..ncols {
+            let start = (j * 5 + seed) % (n + 1);
+            let width = 1 + (j * 3 + seed) % 4;
+            for i in start..n.min(start + width) {
+                let t = (i * 13 + j * 7 + seed) % 19;
+                b.set(i, j, t as f64 * 0.41 - 3.3);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn column_active_ranges_finds_first_and_last_nonzeros() {
+        let mut b = DenseMatrix::zeros(5, 3, MemoryOrder::RowMajor);
+        b.set(2, 0, 1.0);
+        b.set(4, 0, -2.0);
+        b.set(0, 2, 3.0);
+        assert_eq!(column_active_ranges(&b), vec![(2, 5), (5, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn sparse_rhs_trsm_is_bit_identical_to_trsm_on_boundary_rhs() {
+        for order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            for uplo in [Triangle::Lower, Triangle::Upper] {
+                for trans in [Transpose::No, Transpose::Yes] {
+                    for diag in [DiagKind::NonUnit, DiagKind::Unit] {
+                        for (n, nrhs) in [(1usize, 1usize), (6, 9), (9, 4), (11, 13)] {
+                            // Positive diagonal: the bit-for-bit case of the contract.
+                            let mut a = filled(n, n, order, 2);
+                            for i in 0..n {
+                                a.set(i, i, 3.0 + i as f64);
+                            }
+                            let mut b1 = boundary_rhs(n, nrhs, order.flipped(), 4);
+                            let mut b2 = b1.clone();
+                            sparse_rhs_trsm(uplo, trans, diag, 1.0, &a, &mut b1).unwrap();
+                            trsm(uplo, trans, diag, 1.0, &a, &mut b2).unwrap();
+                            for i in 0..n {
+                                for j in 0..nrhs {
+                                    assert_eq!(
+                                        b1.get(i, j).to_bits(),
+                                        b2.get(i, j).to_bits(),
+                                        "{order:?} {uplo:?} {trans:?} {diag:?} n={n} ({i},{j})"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rhs_trsm_detects_singularity_inside_a_skipped_region() {
+        // Column active ranges start at row 2, but the zero pivot sits at row 0: the
+        // sparse kernel must still report it, at the same index as the dense scan.
+        let mut a = filled(4, 4, MemoryOrder::RowMajor, 1);
+        for i in 0..4 {
+            a.set(i, i, 2.0 + i as f64);
+        }
+        a.set(0, 0, 0.0);
+        let mut b = DenseMatrix::zeros(4, 2, MemoryOrder::RowMajor);
+        b.set(2, 0, 1.0);
+        b.set(3, 1, 1.0);
+        let err =
+            sparse_rhs_trsm(Triangle::Lower, Transpose::No, DiagKind::NonUnit, 1.0, &a, &mut b)
+                .unwrap_err();
+        assert_eq!(err, SparseError::SingularDiagonal { index: 0 });
+    }
+
+    #[test]
+    fn boundary_syrk_is_bit_identical_to_syrk_on_boundary_rows() {
+        for order in [MemoryOrder::RowMajor, MemoryOrder::ColMajor] {
+            for uplo in [Triangle::Lower, Triangle::Upper] {
+                for trans in [Transpose::No, Transpose::Yes] {
+                    for (n, k) in [(0usize, 3usize), (1, 2), (7, 11), (13, 9)] {
+                        // op(A) rows carry zero prefixes: build the sparse pattern on
+                        // the operated shape, then store it under `trans`.
+                        let rows_op = boundary_rhs(k, n, order, 6);
+                        let a = match trans {
+                            Transpose::Yes => rows_op,
+                            Transpose::No => {
+                                let mut t = DenseMatrix::zeros(n, k, order);
+                                for i in 0..n {
+                                    for p in 0..k {
+                                        t.set(i, p, rows_op.get(p, i));
+                                    }
+                                }
+                                t
+                            }
+                        };
+                        let mut c1 = filled(n, n, order.flipped(), 9);
+                        let mut c2 = c1.clone();
+                        boundary_syrk(uplo, trans, 0.9, &a, 0.3, &mut c1);
+                        syrk(uplo, trans, 0.9, &a, 0.3, &mut c2);
+                        for i in 0..n {
+                            for j in 0..n {
+                                assert_eq!(
+                                    c1.get(i, j).to_bits(),
+                                    c2.get(i, j).to_bits(),
+                                    "{order:?} {uplo:?} {trans:?} n={n} k={k} ({i},{j})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_syrk_results_do_not_depend_on_the_block_size() {
+        let a = boundary_rhs(23, 37, MemoryOrder::RowMajor, 3);
+        let mut expect = filled(37, 37, MemoryOrder::RowMajor, 13);
+        reference::syrk(Triangle::Lower, Transpose::Yes, 1.0, &a, 0.5, &mut expect);
+        for nb in [4usize, 16, 36, 37, 38, 128] {
+            let mut c = filled(37, 37, MemoryOrder::RowMajor, 13);
+            boundary_syrk_with_block(Triangle::Lower, Transpose::Yes, 1.0, &a, 0.5, &mut c, nb);
+            for i in 0..37 {
+                for j in 0..37 {
+                    assert_eq!(c.get(i, j).to_bits(), expect.get(i, j).to_bits(), "nb={nb}");
+                }
+            }
+        }
     }
 }

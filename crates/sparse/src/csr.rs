@@ -274,6 +274,24 @@ impl CsrMatrix {
         }
         self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
     }
+
+    /// Number of distinct columns holding at least one stored entry.
+    ///
+    /// For a gluing matrix `B` this is the subdomain's boundary-DOF count: the
+    /// number of nonzero columns of `Bᵀ` that the sparsity-aware assembly path
+    /// actually has to solve for (arXiv 2509.21037).
+    #[must_use]
+    pub fn num_nonzero_cols(&self) -> usize {
+        let mut seen = vec![false; self.ncols];
+        let mut count = 0;
+        for &j in &self.col_idx {
+            if !seen[j] {
+                seen[j] = true;
+                count += 1;
+            }
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +323,18 @@ mod tests {
         assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
         assert!(a.bytes() > 0);
         assert!((a.density() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn num_nonzero_cols_counts_distinct_columns() {
+        let a = sample();
+        assert_eq!(a.num_nonzero_cols(), 3);
+        let mut coo = CooMatrix::new(3, 6);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 4, -1.0);
+        coo.push(2, 1, 1.0);
+        assert_eq!(coo.to_csr().num_nonzero_cols(), 2);
+        assert_eq!(CsrMatrix::zeros(4, 7).num_nonzero_cols(), 0);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! (`shims/rayon` is a genuine work-stealing pool), and the backends promise that
 //! every cross-subdomain reduction happens in deterministic subdomain-index order.
 //! This suite pins that promise at the strongest possible level: for heat transfer in
-//! 2D and 3D, linear elasticity in 2D, and **all nine** dual-operator approaches, the
+//! 2D and 3D, linear elasticity in 2D, and **all eleven** dual-operator approaches
+//! (the nine of Table III plus the sparsity-aware explicit family), the
 //! operator action `F·p`, the PCPG solution, and the iteration counts produced with 4
 //! worker threads must be **bit-for-bit** identical to a 1-thread run — not merely
 //! close in norm.  It also asserts the performance side of the tentpole: on a machine
@@ -137,6 +138,39 @@ fn supernodal_operator_action_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The sparsity-aware explicit family in particular: with the assembly parameters
+/// pinned to the configuration both explicit families share (SYRK path over a dense
+/// forward factor), the `F·p` of `expl sparse legacy/modern` must be bit-for-bit
+/// identical between 1 and 4 worker threads on every conformance problem.
+#[test]
+fn sparse_rhs_assembly_is_bit_identical_across_thread_counts() {
+    let params = feti_core::ExplicitAssemblyParams {
+        path: feti_core::Path::Syrk,
+        forward_factor_storage: feti_core::FactorStorage::Dense,
+        ..Default::default()
+    };
+    for (name, spec) in problems() {
+        let problem = DecomposedProblem::build(&spec);
+        let nl = problem.num_lambdas;
+        let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.71).sin() - 0.15).collect();
+        for approach in [
+            DualOperatorApproach::ExplicitSparseGpuLegacy,
+            DualOperatorApproach::ExplicitSparseGpuModern,
+        ] {
+            let run = |threads: usize| -> Vec<f64> {
+                with_threads(threads, || {
+                    let mut op = build_dual_operator(approach, &problem, Some(params)).unwrap();
+                    op.preprocess().unwrap();
+                    let mut q = vec![0.0; nl];
+                    op.apply(&p, &mut q);
+                    q
+                })
+            };
+            assert_bits_eq(name, approach, "sparse-RHS F·p", &run(1), &run(4));
+        }
+    }
+}
+
 /// The blocked BLAS kernels and the supernodal factorization are sequential building
 /// blocks: their results must not depend on the ambient worker pool at all.  This
 /// pins SYRK, TRSM, SYMM, SYMV and a supernodal factor to identical bits under 1 and
@@ -255,7 +289,7 @@ proptest! {
     fn apply_many_equals_columnwise_apply_for_random_widths_and_threads(
         width in 1usize..6,
         threads in 1usize..5,
-        approach_index in 0usize..9,
+        approach_index in 0usize..11,
     ) {
         let approach = DualOperatorApproach::all()[approach_index];
         let problem = DecomposedProblem::build(&DecompositionSpec::small_heat_2d());

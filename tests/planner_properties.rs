@@ -2,12 +2,15 @@
 //! dimensionalities and amortization horizons, every estimate must be finite and
 //! positive for the full Table-I parameter space, and the planner's pick (full sweep
 //! and pruned auto-configured alike) must stay within 2x of the exhaustively modelled
-//! optimum.
+//! optimum.  The sparsity-aware explicit family adds two more invariants: its
+//! estimate never exceeds its dense counterpart's (so the planner can never select a
+//! sparse candidate costed above the dense one), and the modelled boundary-restricted
+//! kernel costs are monotone in the boundary-DOF count.
 
 use feti_core::planner::Planner;
-use feti_core::{DualOperatorApproach, ExplicitAssemblyParams};
+use feti_core::{DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path};
 use feti_decompose::{DecomposedProblem, DecompositionSpec};
-use feti_gpu::GpuSpec;
+use feti_gpu::{cost, CudaGeneration, GpuSpec};
 use feti_mesh::{Dim, ElementOrder, Physics};
 use proptest::prelude::*;
 
@@ -85,6 +88,76 @@ proptest! {
         prop_assert!(
             auto_pick <= 2.0 * optimum,
             "auto pick {} vs modelled optimum {}", auto_pick, optimum
+        );
+    }
+
+    // The sparsity-aware family only removes provably-zero work from the dense
+    // explicit assembly, so under the shared pinned configuration (SYRK path over a
+    // dense forward factor — what the sparse family always executes) its estimated
+    // cost never exceeds the dense counterpart's at any amortization horizon.  The
+    // planner therefore can never select a sparse candidate costed above its dense
+    // twin.
+    #[test]
+    fn sparse_family_estimate_never_exceeds_its_dense_counterpart(
+        nel2 in 2usize..9,
+        nel3 in 2usize..4,
+        use_3d in 0u8..2,
+        elasticity in 0u8..2,
+        iters_exp in 0u32..5,
+    ) {
+        let spec = spec_for(use_3d == 1, nel2, nel3, elasticity == 1);
+        let problem = DecomposedProblem::build(&spec);
+        let planner = Planner::new(&problem, GpuSpec::a100_40gb());
+        let iterations = 10usize.pow(iters_exp);
+        let params = ExplicitAssemblyParams {
+            path: Path::Syrk,
+            forward_factor_storage: FactorStorage::Dense,
+            ..Default::default()
+        };
+        for (sparse, dense) in [
+            (DualOperatorApproach::ExplicitSparseGpuLegacy, DualOperatorApproach::ExplicitGpuLegacy),
+            (DualOperatorApproach::ExplicitSparseGpuModern, DualOperatorApproach::ExplicitGpuModern),
+        ] {
+            let s = planner.estimate(sparse, params);
+            let d = planner.estimate(dense, params);
+            prop_assert!(
+                s.total_seconds(iterations) <= d.total_seconds(iterations) * (1.0 + 1e-12),
+                "{:?} estimate {} exceeds {:?} estimate {} at {} iterations",
+                sparse, s.total_seconds(iterations), dense, d.total_seconds(iterations), iterations
+            );
+        }
+    }
+
+    // The modelled boundary-restricted kernel costs are monotone nondecreasing in the
+    // boundary-DOF count: more boundary columns can only add modelled work.
+    #[test]
+    fn sparse_kernel_costs_are_monotone_in_boundary_count(
+        n in 1usize..3000,
+        nrhs in 1usize..800,
+        gen_sel in 0usize..2,
+        b1 in 0usize..3001,
+        b2 in 0usize..3001,
+    ) {
+        let spec = GpuSpec::a100_40gb();
+        let generation = [CudaGeneration::Legacy, CudaGeneration::Modern][gen_sel];
+        let (lo, hi) = {
+            let a = b1.min(n);
+            let b = b2.min(n);
+            (a.min(b), a.max(b))
+        };
+        let trsm_lo = cost::sparse_rhs_trsm(&spec, generation, n, nrhs, lo).seconds;
+        let trsm_hi = cost::sparse_rhs_trsm(&spec, generation, n, nrhs, hi).seconds;
+        prop_assert!(
+            trsm_lo <= trsm_hi * (1.0 + 1e-12),
+            "sparse_rhs_trsm n={} nrhs={} {:?}: cost({})={} > cost({})={}",
+            n, nrhs, generation, lo, trsm_lo, hi, trsm_hi
+        );
+        let syrk_lo = cost::boundary_syrk(&spec, generation, nrhs, n, lo).seconds;
+        let syrk_hi = cost::boundary_syrk(&spec, generation, nrhs, n, hi).seconds;
+        prop_assert!(
+            syrk_lo <= syrk_hi * (1.0 + 1e-12),
+            "boundary_syrk nl={} k={} {:?}: cost({})={} > cost({})={}",
+            nrhs, n, generation, lo, syrk_lo, hi, syrk_hi
         );
     }
 }
