@@ -14,6 +14,8 @@
 //! * The default and `full` scales enforce blocked SYRK and TRSM ≥ 2x over the
 //!   retained scalar reference kernels, and a ≥ 1.5x modelled assembly-phase speedup
 //!   of the sparse-RHS explicit family over the dense explicit family.
+//! * Every scale enforces a ≥ 5x cached-vs-cold preprocessing speedup through the
+//!   `feti-service` warm-solver cache (the `service` section).
 
 use feti_bench::json::{parse, validate_perf_trajectory, Value};
 use feti_bench::{build_problem, BenchScale};
@@ -28,7 +30,12 @@ use std::time::Instant;
 const PINNED_THREADS: usize = 4;
 
 /// The issue number this trajectory belongs to (names the output file).
-const ISSUE: usize = 7;
+const ISSUE: usize = 8;
+
+/// Floor applied to near-zero cached times before forming a speedup ratio: a warm
+/// cache checkout can measure as exactly zero at the clock's resolution, and JSON
+/// cannot represent the infinite ratio that would produce.
+const SPEEDUP_FLOOR_S: f64 = 1e-9;
 
 /// Dense kernel operand size at each scale.
 fn kernel_size(scale: BenchScale) -> usize {
@@ -303,6 +310,61 @@ fn measure_sparse_assembly(
     (section, speedup)
 }
 
+/// Cold-vs-cached solver-service latency: the same geometry is submitted once cold
+/// and then three more times against the warm plan + factor cache; the cached
+/// numbers are the best of the three repeats (same best-of protocol as the kernel
+/// timings).  Returns the JSON section and the cached-preprocess speedup the ≥ 5x
+/// gate checks.
+fn measure_service(problem: &feti_decompose::DecomposedProblem) -> (Value, f64) {
+    use feti_service::{CacheOutcome, FetiService, JobSpec, ServiceConfig};
+    use std::sync::Arc;
+
+    let service = FetiService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let problem: Arc<feti_decompose::DecomposedProblem> = Arc::new(problem.clone());
+    let run = || {
+        let start = Instant::now();
+        let report = service
+            .submit(JobSpec::new("trajectory", Arc::clone(&problem)))
+            .expect("the pinned problem passes admission")
+            .wait()
+            .expect("the pinned problem solves");
+        (report, start.elapsed().as_secs_f64())
+    };
+
+    let (cold, cold_latency_s) = run();
+    assert_eq!(cold.cache, CacheOutcome::Miss, "first service job must build cold");
+    let mut cached_preprocess_s = f64::INFINITY;
+    let mut cached_latency_s = f64::INFINITY;
+    for _ in 0..3 {
+        let (warm, latency) = run();
+        assert_eq!(warm.cache, CacheOutcome::Hit, "repeat jobs must hit the warm cache");
+        cached_preprocess_s = cached_preprocess_s.min(warm.preprocess_seconds);
+        cached_latency_s = cached_latency_s.min(latency);
+    }
+    let stats = service.shutdown().expect("clean service shutdown");
+
+    let preprocess_speedup = cold.preprocess_seconds / cached_preprocess_s.max(SPEEDUP_FLOOR_S);
+    let latency_speedup = cold_latency_s / cached_latency_s.max(SPEEDUP_FLOOR_S);
+    println!(
+        "service: cold preprocess {:.6}s / latency {cold_latency_s:.6}s, cached preprocess \
+         {cached_preprocess_s:.6}s / latency {cached_latency_s:.6}s, preprocess speedup \
+         {preprocess_speedup:.1}x",
+        cold.preprocess_seconds
+    );
+    let section = Value::obj(vec![
+        ("jobs", Value::Num(stats.jobs_completed as f64)),
+        ("cache_hits", Value::Num(stats.cache_hits as f64)),
+        ("cache_misses", Value::Num(stats.cache_misses as f64)),
+        ("cold_preprocess_s", Value::Num(cold.preprocess_seconds)),
+        ("cached_preprocess_s", Value::Num(cached_preprocess_s)),
+        ("preprocess_speedup", Value::Num(preprocess_speedup)),
+        ("cold_latency_s", Value::Num(cold_latency_s)),
+        ("cached_latency_s", Value::Num(cached_latency_s)),
+        ("latency_speedup", Value::Num(latency_speedup)),
+    ]);
+    (section, preprocess_speedup)
+}
+
 fn fail(message: &str) -> ! {
     eprintln!("perf_trajectory: {message}");
     std::process::exit(1);
@@ -345,6 +407,10 @@ fn main() {
             )
         });
 
+    // The service spawns its own worker threads (which in turn use the process-wide
+    // pool), so it is measured outside the pinned pool's install scope.
+    let (service_section, service_speedup) = measure_service(&problem);
+
     let doc = Value::obj(vec![
         ("bench", Value::Str("perf_trajectory".to_string())),
         ("issue", Value::Num(ISSUE as f64)),
@@ -366,9 +432,10 @@ fn main() {
         ("kernels", kernels),
         ("sparse_assembly", sparse_assembly),
         ("factorization", factorization),
+        ("service", service_section),
     ]);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "8.json");
     if let Err(e) = std::fs::write(path, doc.to_json()) {
         fail(&format!("cannot write {path}: {e}"));
     }
@@ -415,6 +482,15 @@ fn main() {
         } else {
             fail(&message);
         }
+    }
+
+    // Service gate: checking a warm solver out of the cache must be at least 5x
+    // cheaper than cold preprocessing, at every scale — the whole point of the
+    // plan + factor cache is skipping factorization and assembly outright.
+    if service_speedup < 5.0 {
+        fail(&format!(
+            "cached service preprocessing speedup {service_speedup:.2}x is below the 5x gate"
+        ));
     }
 
     println!("wrote {path}");

@@ -403,6 +403,38 @@ pub fn validate_perf_trajectory(doc: &Value) -> Result<(), String> {
             "factorization.num_supernodes: must be a positive integer, got {nsuper}"
         ));
     }
+
+    let service = doc.get("service").ok_or_else(|| "missing 'service'".to_string())?;
+    let jobs = require_num(service, "service", "jobs")?;
+    let hits = require_num(service, "service", "cache_hits")?;
+    let misses = require_num(service, "service", "cache_misses")?;
+    for (key, x) in [("jobs", jobs), ("cache_hits", hits), ("cache_misses", misses)] {
+        if x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("service.{key}: must be a non-negative integer, got {x}"));
+        }
+    }
+    if hits + misses != jobs {
+        return Err(format!(
+            "service: cache_hits {hits} + cache_misses {misses} must equal jobs {jobs}"
+        ));
+    }
+    // Cached times can measure as zero at the clock's resolution; the emitter floors
+    // the denominator at 1 ns before forming the ratio, and the consistency check
+    // applies the same floor.
+    for (cold_key, cached_key, speedup_key) in [
+        ("cold_preprocess_s", "cached_preprocess_s", "preprocess_speedup"),
+        ("cold_latency_s", "cached_latency_s", "latency_speedup"),
+    ] {
+        let cold = require_nonneg(service, "service", cold_key)?;
+        let cached = require_nonneg(service, "service", cached_key)?;
+        let speedup = require_nonneg(service, "service", speedup_key)?;
+        let expected = cold / cached.max(1e-9);
+        if (speedup - expected).abs() > 1e-9 * speedup.max(1.0) {
+            return Err(format!(
+                "service: {speedup_key} {speedup} inconsistent with {cold}/{cached}"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -497,6 +529,20 @@ mod tests {
                     ("num_supernodes", Value::Num(42.0)),
                 ]),
             ),
+            (
+                "service",
+                Value::obj(vec![
+                    ("jobs", Value::Num(4.0)),
+                    ("cache_hits", Value::Num(3.0)),
+                    ("cache_misses", Value::Num(1.0)),
+                    ("cold_preprocess_s", Value::Num(0.2)),
+                    ("cached_preprocess_s", Value::Num(0.0)),
+                    ("preprocess_speedup", Value::Num(0.2 / 1e-9)),
+                    ("cold_latency_s", Value::Num(0.25)),
+                    ("cached_latency_s", Value::Num(0.01)),
+                    ("latency_speedup", Value::Num(0.25 / 0.01)),
+                ]),
+            ),
         ])
     }
 
@@ -549,6 +595,39 @@ mod tests {
                 sa.iter_mut().for_each(|(k, v)| {
                     if k == "speedup" {
                         *v = Value::Num(42.0);
+                    }
+                });
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Missing service section.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "service");
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Service job counters that do not add up.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(svc))) = pairs.iter_mut().find(|(k, _)| k == "service") {
+                svc.iter_mut().for_each(|(k, v)| {
+                    if k == "cache_hits" {
+                        *v = Value::Num(2.0);
+                    }
+                });
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Inconsistent service speedup (must honor the 1 ns denominator floor).
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(svc))) = pairs.iter_mut().find(|(k, _)| k == "service") {
+                svc.iter_mut().for_each(|(k, v)| {
+                    if k == "preprocess_speedup" {
+                        *v = Value::Num(7.0);
                     }
                 });
             }

@@ -12,6 +12,7 @@ use feti_gpu::GpuSpec;
 use feti_solver::{CholeskyFactor, SolverOptions};
 use feti_sparse::{blas, ops, CooMatrix, CsrMatrix, DenseMatrix, MemoryOrder, Transpose};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// One load case for [`TotalFetiSolver::solve_many`]: one load vector per subdomain,
 /// each of the subdomain's DOF length.
@@ -58,8 +59,15 @@ pub struct FetiSolution {
 }
 
 /// The Total FETI solver driving a pluggable dual operator.
-pub struct TotalFetiSolver<'a> {
-    problem: &'a DecomposedProblem,
+///
+/// The solver *owns* its problem (shared through an [`Arc`]), so a fully constructed
+/// — and, after the first solve, fully preprocessed — solver is `'static + Send` and
+/// can be cached and handed between worker threads by a solve service.  FETI
+/// preprocessing (recovery factorizations, the coarse problem and the dual
+/// operator's own factorization/assembly) runs once per solver instance; subsequent
+/// solves on the same instance reuse it and report a zero preprocessing time.
+pub struct TotalFetiSolver {
+    problem: Arc<DecomposedProblem>,
     dual_op: Box<dyn DualOperator>,
     /// Factors of the regularized subdomain matrices used for `d` and solution
     /// recovery (independent of the dual operator's own internal factorizations).
@@ -68,21 +76,48 @@ pub struct TotalFetiSolver<'a> {
     gtg_factor: CholeskyFactor,
     kernel_dim: usize,
     options: PcpgOptions,
+    /// The recorded dual-operator preprocessing breakdown, once it has run.
+    preprocessed: Option<TimeBreakdown>,
 }
 
-impl<'a> TotalFetiSolver<'a> {
+impl TotalFetiSolver {
     /// Creates a solver for `problem` using the given dual-operator approach.
     ///
     /// # Errors
     /// Returns an error if a subdomain factorization fails or the coarse problem is
     /// singular.
     pub fn new(
-        problem: &'a DecomposedProblem,
+        problem: impl Into<Arc<DecomposedProblem>>,
         approach: DualOperatorApproach,
         params: Option<ExplicitAssemblyParams>,
         options: PcpgOptions,
     ) -> Result<Self> {
-        let dual_op = crate::dualop::build_dual_operator(approach, problem, params)?;
+        let problem = problem.into();
+        let dual_op = crate::dualop::build_dual_operator(approach, &problem, params)?;
+        Self::from_parts(problem, dual_op, options)
+    }
+
+    /// Like [`TotalFetiSolver::new`] with explicit [`SolverOptions`] — in particular
+    /// the host numeric factorization kind, which a planner or service resolves per
+    /// job.
+    ///
+    /// # Errors
+    /// Returns an error if a subdomain factorization fails or the coarse problem is
+    /// singular.
+    pub fn new_with_solver_options(
+        problem: impl Into<Arc<DecomposedProblem>>,
+        approach: DualOperatorApproach,
+        params: Option<ExplicitAssemblyParams>,
+        solver_options: SolverOptions,
+        options: PcpgOptions,
+    ) -> Result<Self> {
+        let problem = problem.into();
+        let dual_op = crate::dualop::build_dual_operator_with_options(
+            approach,
+            &problem,
+            params,
+            solver_options,
+        )?;
         Self::from_parts(problem, dual_op, options)
     }
 
@@ -96,19 +131,20 @@ impl<'a> TotalFetiSolver<'a> {
     /// Returns an error if the planned operator cannot be constructed or a subdomain
     /// factorization fails.
     pub fn new_planned(
-        problem: &'a DecomposedProblem,
+        problem: impl Into<Arc<DecomposedProblem>>,
         gpu: GpuSpec,
         expected_iterations: usize,
         options: PcpgOptions,
     ) -> Result<Self> {
-        let plan = Planner::new(problem, gpu).plan(expected_iterations);
-        let dual_op = plan.build(problem)?;
+        let problem = problem.into();
+        let plan = Planner::new(&problem, gpu).plan(expected_iterations);
+        let dual_op = plan.build(&problem)?;
         Self::from_parts(problem, dual_op, options)
     }
 
     /// Shared constructor body: recovery factorizations and the coarse problem.
     fn from_parts(
-        problem: &'a DecomposedProblem,
+        problem: Arc<DecomposedProblem>,
         dual_op: Box<dyn DualOperator>,
         options: PcpgOptions,
     ) -> Result<Self> {
@@ -145,13 +181,53 @@ impl<'a> TotalFetiSolver<'a> {
         let gtg_factor = CholeskyFactor::new(&gtg, &solver_opts)
             .map_err(|e| FetiError::Factorization(format!("coarse problem GᵀG: {e}")))?;
 
-        Ok(Self { problem, dual_op, recovery_factors, g, gtg_factor, kernel_dim, options })
+        Ok(Self {
+            problem,
+            dual_op,
+            recovery_factors,
+            g,
+            gtg_factor,
+            kernel_dim,
+            options,
+            preprocessed: None,
+        })
     }
 
     /// The dual-space dimension.
     #[must_use]
     pub fn num_lambdas(&self) -> usize {
         self.problem.num_lambdas
+    }
+
+    /// The problem this solver owns.
+    #[must_use]
+    pub fn problem(&self) -> &Arc<DecomposedProblem> {
+        &self.problem
+    }
+
+    /// Whether the dual operator has been preprocessed (i.e. the solver is *warm*:
+    /// the next solve skips factorization and assembly entirely).
+    #[must_use]
+    pub fn is_preprocessed(&self) -> bool {
+        self.preprocessed.is_some()
+    }
+
+    /// Runs the dual operator's preprocessing if it has not run yet and returns the
+    /// recorded breakdown.  Idempotent: a warm solver returns the stored breakdown
+    /// without redoing any work — this is what makes cached solvers skip
+    /// preprocessing across a stream of repeated-geometry jobs.
+    ///
+    /// # Errors
+    /// Returns an error if factorization or assembly fails.
+    pub fn ensure_preprocessed(&mut self) -> Result<TimeBreakdown> {
+        match self.preprocessed {
+            Some(t) => Ok(t),
+            None => {
+                let t = self.dual_op.preprocess()?;
+                self.preprocessed = Some(t);
+                Ok(t)
+            }
+        }
     }
 
     /// Access to the underlying dual operator (e.g. for statistics).
@@ -330,7 +406,12 @@ impl<'a> TotalFetiSolver<'a> {
                 assert_eq!(f.len(), sd.num_dofs(), "load vector length must match DOFs");
             }
         }
-        let preprocessing_time = self.dual_op.preprocess()?;
+        // Preprocessing runs once per solver instance: a warm (cached) solver goes
+        // straight to the iteration and reports a zero preprocessing time, since no
+        // preprocessing work happened during *this* solve.
+        let already_warm = self.is_preprocessed();
+        let recorded = self.ensure_preprocessed()?;
+        let preprocessing_time = if already_warm { TimeBreakdown::default() } else { recorded };
         let nl = self.problem.num_lambdas;
         let mut apply_time = TimeBreakdown::default();
 

@@ -33,7 +33,7 @@ pub use feti::{FetiSolution, LoadCase, PcpgOptions, TotalFetiSolver};
 pub use params::{
     DualOperatorApproach, ExplicitAssemblyParams, FactorStorage, Path, ScatterGather,
 };
-pub use planner::{HostSpec, Plan, PlanCandidate, Planner};
+pub use planner::{HostSpec, Plan, PlanCacheKey, PlanCandidate, Planner};
 pub use schedule::{PhaseScheduler, TimeBreakdown};
 
 /// Number of host worker threads the parallel subdomain loops currently use.

@@ -37,10 +37,22 @@ use feti_solver::{FactorizationKind, SolverOptions};
 /// throughputs, not hardware peaks.
 #[derive(Debug, Clone, Copy)]
 pub struct HostSpec {
-    /// Effective per-thread FP64 throughput (FLOP/second).
+    /// Effective per-thread FP64 throughput for indexed sparse kernels (FLOP/second).
     pub flops_fp64: f64,
-    /// Effective per-thread memory bandwidth (bytes/second).
+    /// Effective per-thread memory bandwidth for indexed sparse access (bytes/second).
     pub memory_bandwidth: f64,
+    /// Effective per-thread FP64 throughput for dense blocked kernels (FLOP/second).
+    /// The blocked SYMV/SYRK/TRSM kernels sustain well above the scalar indexed rate.
+    pub dense_flops_fp64: f64,
+    /// Effective bandwidth for dense regular-stride access when the working set is
+    /// cache resident (bytes/second).  Tiny subdomains' dense `F̃ᵢ` live entirely in
+    /// cache across PCPG iterations, so pricing them at streaming bandwidth overprices
+    /// the host apply by ~6× and makes the planner mispick a device-side approach.
+    pub cache_bandwidth: f64,
+    /// Working-set size under which dense traffic is served at `cache_bandwidth`
+    /// (bytes).  Only the excess over this is charged at streaming `memory_bandwidth`,
+    /// so the dense roofline is continuous and monotone in the task size.
+    pub cache_bytes: f64,
     /// Fixed overhead charged per subdomain task (seconds).
     pub task_overhead_seconds: f64,
     /// Host worker threads the parallel subdomain loop will use (one modelled CUDA
@@ -59,6 +71,9 @@ impl HostSpec {
         Self {
             flops_fp64: 2.5e9,
             memory_bandwidth: 4.5e9,
+            dense_flops_fp64: 6.0e9,
+            cache_bandwidth: 2.8e10,
+            cache_bytes: 256.0 * 1024.0,
             task_overhead_seconds: 1.0e-6,
             threads: crate::host_threads(),
         }
@@ -70,10 +85,28 @@ impl HostSpec {
         Self { threads: threads.max(1), ..Self::calibrated() }
     }
 
-    /// Roofline time of one host task touching `bytes` and executing `flops`.
+    /// Roofline time of one host task with indexed (sparse) access touching `bytes`
+    /// and executing `flops`.  Index chasing defeats the cache even for small working
+    /// sets, so sparse tasks are priced at the flat calibrated rates regardless of
+    /// size (measured: implicit solves sustain ~6 GB/s at both 59 KB and 400 KB
+    /// working sets).
     #[must_use]
     pub fn seconds(&self, bytes: f64, flops: f64) -> f64 {
         self.task_overhead_seconds + (bytes / self.memory_bandwidth).max(flops / self.flops_fp64)
+    }
+
+    /// Roofline time of one host task with dense regular-stride access.  Two-level:
+    /// traffic up to [`Self::cache_bytes`] is served at [`Self::cache_bandwidth`],
+    /// only the excess streams from memory.  This is what fixes the heat-3D 125-dof
+    /// mispick: an 86×86 dense `F̃ᵢ` (~96 KB of effective SYMV traffic) runs ~6×
+    /// faster than the streaming roofline predicts, and the planner must know that
+    /// to prefer the host apply over shuttling tiny vectors through the device.
+    #[must_use]
+    pub fn dense_seconds(&self, bytes: f64, flops: f64) -> f64 {
+        let compute = flops / self.dense_flops_fp64;
+        let cache = bytes / self.cache_bandwidth;
+        let stream = (bytes - self.cache_bytes).max(0.0) / self.memory_bandwidth;
+        self.task_overhead_seconds + compute.max(cache).max(stream)
     }
 }
 
@@ -122,6 +155,10 @@ pub struct PlanCandidate {
     pub apply: TimeBreakdown,
     /// Whether the persistent device allocations of this approach fit the device.
     pub fits_device_memory: bool,
+    /// Modelled persistent device allocation of this approach in bytes (zero for
+    /// CPU-only approaches).  A service admission controller compares this against
+    /// its device budget before letting the job construct real operators.
+    pub persistent_device_bytes: usize,
 }
 
 impl PlanCandidate {
@@ -391,13 +428,15 @@ impl<'a> Planner<'a> {
                 self.record_explicit_apply(&mut app, &params);
             }
         }
+        let persistent_device_bytes = self.persistent_device_bytes(approach, generation);
         PlanCandidate {
             approach,
             params,
             factorization: kind,
             preprocessing: pre.finish(),
             apply: app.finish(),
-            fits_device_memory: self.fits_device_memory(approach, generation),
+            fits_device_memory: persistent_device_bytes <= self.gpu.memory_capacity_bytes,
+            persistent_device_bytes,
         }
     }
 
@@ -446,9 +485,11 @@ impl<'a> Planner<'a> {
     /// Host cost of one dense symmetric matrix-vector product.  The host SYMV walks
     /// full rows with a per-row triangle branch; the measured Fig. 5 sweeps put its
     /// effective traffic at ~13 bytes per matrix entry (≈1.6× the dense payload).
+    /// Dense regular access — priced by the cache-aware [`HostSpec::dense_seconds`]
+    /// roofline, so tiny cache-resident `F̃ᵢ` are not charged streaming bandwidth.
     fn host_symv(&self, nl: usize) -> f64 {
         let nlf = nl as f64;
-        self.host.seconds(nlf * nlf * 13.0, 2.0 * nlf * nlf)
+        self.host.dense_seconds(nlf * nlf * 13.0, 2.0 * nlf * nlf)
     }
 
     /// The device operations one implicit GPU application submits per subdomain —
@@ -555,15 +596,18 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Whether the persistent device allocations of an approach fit the device —
-    /// mirrors the `alloc_persistent` calls of the operator constructors.
-    fn fits_device_memory(
+    /// Modelled persistent device allocation of an approach in bytes — mirrors the
+    /// `alloc_persistent` calls of the operator constructors exactly, so a service
+    /// admission controller can reserve this amount against a device budget before
+    /// any operator is constructed.  CPU-only approaches allocate nothing.
+    #[must_use]
+    pub fn persistent_device_bytes(
         &self,
         approach: DualOperatorApproach,
         generation: CudaGeneration,
-    ) -> bool {
+    ) -> usize {
         if !approach.uses_gpu() {
-            return true;
+            return 0;
         }
         let mut persistent = 0usize;
         for s in &self.shapes {
@@ -585,7 +629,91 @@ impl<'a> Planner<'a> {
                 _ => 0,
             };
         }
-        persistent <= self.gpu.memory_capacity_bytes
+        persistent
+    }
+}
+
+/// A key identifying the symbolic structure of a solve configuration: two jobs with
+/// equal keys share the decomposition shape, every subdomain's sparsity structure,
+/// the dual-operator approach, its parameters and the host factorization kind — so
+/// symbolic analysis, numeric factors and assembled explicit operators computed for
+/// one are bit-for-bit valid for the other (only the numeric values of loads differ
+/// between such jobs, and those enter PCPG, not preprocessing).
+///
+/// This is what a solve service uses to cache warm solvers across a stream of
+/// repeated-geometry jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Fingerprint of the per-subdomain symbolic structure (dimensions and the
+    /// sparsity patterns of `Kᵢ` and `B̃ᵢ`).
+    structure: u64,
+    /// Number of subdomains.
+    num_subdomains: usize,
+    /// Dual-space dimension.
+    num_lambdas: usize,
+    /// The dual-operator approach.
+    approach: DualOperatorApproach,
+    /// The explicit-assembly parameters (identity for CPU-only approaches).
+    params: ExplicitAssemblyParams,
+    /// The host numeric factorization kind.
+    factorization: FactorizationKind,
+}
+
+impl PlanCacheKey {
+    /// Builds the key for one problem and one resolved solve configuration.
+    ///
+    /// The structural fingerprint hashes every subdomain's dimensions and the index
+    /// arrays (not values) of its stiffness and gluing matrices, so geometrically
+    /// identical decompositions collide on purpose while any structural difference —
+    /// one extra nonzero, one reordered constraint — separates the keys.
+    #[must_use]
+    pub fn new(
+        problem: &DecomposedProblem,
+        approach: DualOperatorApproach,
+        params: ExplicitAssemblyParams,
+        factorization: FactorizationKind,
+    ) -> Self {
+        Self {
+            structure: Self::structure_fingerprint(problem),
+            num_subdomains: problem.subdomains.len(),
+            num_lambdas: problem.num_lambdas,
+            approach,
+            params,
+            factorization,
+        }
+    }
+
+    /// Fingerprint of the problem's symbolic structure alone (no approach): hashes
+    /// every subdomain's dimensions and index arrays.  Useful as the problem half of
+    /// a plan cache key before an approach has been resolved.
+    #[must_use]
+    pub fn structure_fingerprint(problem: &DecomposedProblem) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        problem.num_global_dofs.hash(&mut h);
+        problem.num_lambdas.hash(&mut h);
+        for sd in &problem.subdomains {
+            sd.num_dofs().hash(&mut h);
+            sd.num_local_lambdas().hash(&mut h);
+            sd.k_reg.row_ptr().hash(&mut h);
+            sd.k_reg.col_idx().hash(&mut h);
+            sd.gluing.row_ptr().hash(&mut h);
+            sd.gluing.col_idx().hash(&mut h);
+            sd.lambda_map.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The approach this key was resolved to.
+    #[must_use]
+    pub fn approach(&self) -> DualOperatorApproach {
+        self.approach
+    }
+
+    /// The factorization kind this key was resolved to.
+    #[must_use]
+    pub fn factorization(&self) -> FactorizationKind {
+        self.factorization
     }
 }
 

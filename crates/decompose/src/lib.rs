@@ -129,6 +129,16 @@ pub struct DecomposedProblem {
     pub num_global_dofs: usize,
 }
 
+/// Lifts a borrowed problem into a shared handle by cloning it.  This keeps
+/// borrow-based call sites (tests, examples) source-compatible with APIs that take
+/// `impl Into<Arc<DecomposedProblem>>`; callers that solve repeatedly should build
+/// the `Arc` once and clone the handle instead.
+impl From<&DecomposedProblem> for std::sync::Arc<DecomposedProblem> {
+    fn from(problem: &DecomposedProblem) -> Self {
+        std::sync::Arc::new(problem.clone())
+    }
+}
+
 impl DecomposedProblem {
     /// Builds the decomposition described by `spec`.
     ///

@@ -1,0 +1,267 @@
+//! Device memory **budget accounting** for multi-tenant admission control.
+//!
+//! The memory manager in [`crate::memory`] tracks allocations that *exist*; a solve
+//! service additionally needs to account for allocations that are merely *planned*:
+//! before a job constructs real operators, the admission controller reserves the
+//! job's modelled persistent footprint (the planner's `persistent_device_bytes`
+//! estimate) against a fixed budget, queues the job while the budget is exhausted by
+//! other tenants, and rejects outright any job whose footprint could never fit.
+//!
+//! Reservations are RAII: dropping a [`BudgetReservation`] returns the bytes and
+//! wakes queued waiters.  Waiting is FIFO-fair with the same ticket discipline as the
+//! temporary pool, so one tenant's stream of small jobs cannot starve another
+//! tenant's large job.  Errors are typed ([`BudgetError`]) — an oversized or
+//! shut-down request must never panic the service.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Errors reported by the budget ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The request exceeds the whole budget and could never be admitted.
+    ExceedsBudget {
+        /// Bytes requested.
+        requested: usize,
+        /// Total budget.
+        budget: usize,
+    },
+    /// The budget cannot currently serve the request (only returned by the
+    /// non-blocking path; the blocking path waits instead).
+    WouldBlock {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently unreserved.
+        available: usize,
+    },
+    /// The ledger was closed (service shutting down) while the request waited.
+    Closed,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::ExceedsBudget { requested, budget } => {
+                write!(
+                    f,
+                    "reservation of {requested} bytes exceeds the device budget of {budget} bytes"
+                )
+            }
+            BudgetError::WouldBlock { requested, available } => {
+                write!(
+                    f,
+                    "reservation of {requested} bytes would block ({available} bytes unreserved)"
+                )
+            }
+            BudgetError::Closed => write!(f, "device budget ledger is closed"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+struct Ledger {
+    reserved: usize,
+    closed: bool,
+    /// FIFO ticket queue: waiters are granted strictly in arrival order.
+    next_ticket: u64,
+    head_ticket: u64,
+}
+
+/// A fixed device-memory budget with FIFO-fair blocking reservations.
+pub struct DeviceBudget {
+    capacity: usize,
+    ledger: Mutex<Ledger>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for DeviceBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let l = self.ledger.lock();
+        f.debug_struct("DeviceBudget")
+            .field("capacity", &self.capacity)
+            .field("reserved", &l.reserved)
+            .field("closed", &l.closed)
+            .finish()
+    }
+}
+
+impl DeviceBudget {
+    /// Creates a budget of `capacity_bytes`.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Arc<Self> {
+        Arc::new(Self {
+            capacity: capacity_bytes,
+            ledger: Mutex::new(Ledger {
+                reserved: 0,
+                closed: false,
+                next_ticket: 0,
+                head_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The total budget in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn reserved_bytes(&self) -> usize {
+        self.ledger.lock().reserved
+    }
+
+    /// Whether a request of `bytes` could ever be admitted.
+    #[must_use]
+    pub fn admissible(&self, bytes: usize) -> bool {
+        bytes <= self.capacity
+    }
+
+    /// Reserves `bytes` without blocking.
+    ///
+    /// # Errors
+    /// [`BudgetError::ExceedsBudget`] if the request can never fit,
+    /// [`BudgetError::WouldBlock`] if it cannot fit right now,
+    /// [`BudgetError::Closed`] after [`DeviceBudget::close`].
+    pub fn try_reserve(self: &Arc<Self>, bytes: usize) -> Result<BudgetReservation, BudgetError> {
+        if bytes > self.capacity {
+            return Err(BudgetError::ExceedsBudget { requested: bytes, budget: self.capacity });
+        }
+        let mut l = self.ledger.lock();
+        if l.closed {
+            return Err(BudgetError::Closed);
+        }
+        // Only the queue head may take budget; barging past waiters would starve them.
+        if l.head_ticket != l.next_ticket || l.reserved + bytes > self.capacity {
+            return Err(BudgetError::WouldBlock {
+                requested: bytes,
+                available: self.capacity - l.reserved,
+            });
+        }
+        l.reserved += bytes;
+        Ok(BudgetReservation { budget: Arc::clone(self), bytes })
+    }
+
+    /// Reserves `bytes`, blocking FIFO-fairly until enough budget is released.
+    ///
+    /// # Errors
+    /// [`BudgetError::ExceedsBudget`] if the request can never fit,
+    /// [`BudgetError::Closed`] if the ledger closes while waiting.
+    pub fn reserve(self: &Arc<Self>, bytes: usize) -> Result<BudgetReservation, BudgetError> {
+        if bytes > self.capacity {
+            return Err(BudgetError::ExceedsBudget { requested: bytes, budget: self.capacity });
+        }
+        let mut l = self.ledger.lock();
+        let ticket = l.next_ticket;
+        l.next_ticket += 1;
+        loop {
+            if l.closed {
+                // Pass the head to the next waiter before bailing out.
+                if l.head_ticket == ticket {
+                    l.head_ticket += 1;
+                    self.cv.notify_all();
+                }
+                return Err(BudgetError::Closed);
+            }
+            if l.head_ticket == ticket && l.reserved + bytes <= self.capacity {
+                l.reserved += bytes;
+                l.head_ticket += 1;
+                // The next waiter may already fit beside this reservation.
+                self.cv.notify_all();
+                return Ok(BudgetReservation { budget: Arc::clone(self), bytes });
+            }
+            self.cv.wait(&mut l);
+        }
+    }
+
+    /// Closes the ledger: every current and future waiter gets
+    /// [`BudgetError::Closed`].  Existing reservations stay valid until dropped.
+    pub fn close(&self) {
+        self.ledger.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII guard of one budget reservation; dropping it releases the bytes and wakes
+/// FIFO waiters.
+#[derive(Debug)]
+pub struct BudgetReservation {
+    budget: Arc<DeviceBudget>,
+    bytes: usize,
+}
+
+impl BudgetReservation {
+    /// Bytes this reservation holds.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetReservation {
+    fn drop(&mut self) {
+        let mut l = self.budget.ledger.lock();
+        l.reserved -= self.bytes;
+        self.budget.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = DeviceBudget::new(1000);
+        let r = b.try_reserve(600).unwrap();
+        assert_eq!(b.reserved_bytes(), 600);
+        assert!(matches!(
+            b.try_reserve(600),
+            Err(BudgetError::WouldBlock { requested: 600, available: 400 })
+        ));
+        drop(r);
+        assert_eq!(b.reserved_bytes(), 0);
+        let _r2 = b.try_reserve(1000).unwrap();
+    }
+
+    #[test]
+    fn oversized_requests_fail_fast_with_a_typed_error() {
+        let b = DeviceBudget::new(100);
+        assert!(matches!(
+            b.try_reserve(101),
+            Err(BudgetError::ExceedsBudget { requested: 101, budget: 100 })
+        ));
+        assert!(matches!(b.reserve(101), Err(BudgetError::ExceedsBudget { .. })));
+    }
+
+    #[test]
+    fn blocking_reservations_are_granted_in_fifo_order() {
+        let b = DeviceBudget::new(100);
+        let first = b.reserve(80).unwrap();
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.reserve(60).map(|r| r.bytes()));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "60-byte request must wait behind the 80-byte holder");
+        // A small request that would fit right now must queue behind the waiter.
+        assert!(matches!(b.try_reserve(10), Err(BudgetError::WouldBlock { .. })));
+        drop(first);
+        assert_eq!(waiter.join().unwrap().unwrap(), 60);
+    }
+
+    #[test]
+    fn close_wakes_waiters_with_a_typed_error() {
+        let b = DeviceBudget::new(100);
+        let hold = b.reserve(100).unwrap();
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.reserve(50));
+        std::thread::sleep(Duration::from_millis(30));
+        b.close();
+        assert!(matches!(waiter.join().unwrap(), Err(BudgetError::Closed)));
+        drop(hold);
+        assert!(matches!(b.try_reserve(1), Err(BudgetError::Closed)));
+    }
+}

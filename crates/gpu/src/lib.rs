@@ -26,11 +26,13 @@
 #![allow(clippy::too_many_arguments)]
 
 pub mod blas;
+pub mod budget;
 pub mod cost;
 pub mod memory;
 pub mod sparse;
 pub mod timeline;
 
+pub use budget::{BudgetError, BudgetReservation, DeviceBudget};
 pub use cost::{GpuCost, GpuSpec};
 pub use memory::{MemoryError, MemoryManager, TempAlloc};
 pub use timeline::{DeviceTimeline, StreamTimeline};

@@ -1,0 +1,811 @@
+//! **Solver as a service**: a long-running multi-tenant runtime around
+//! [`TotalFetiSolver`].
+//!
+//! The paper's pipeline (symbolic analysis → numeric factorization → dual-operator
+//! assembly → PCPG) only pays off in production when its expensive front is amortized
+//! across a *stream* of jobs: repeated geometries (time steps, parameter sweeps,
+//! per-tenant model variants) share all symbolic and numeric preprocessing and differ
+//! only in their loads.  This crate provides that runtime:
+//!
+//! - an **async job queue** with a fixed pool of worker threads; submission returns a
+//!   [`JobTicket`] immediately and the result is collected later,
+//! - **tenant fairness**: the queue is drained round-robin across tenants, so one
+//!   tenant's burst cannot starve the others,
+//! - a **plan + factor cache** keyed by [`PlanCacheKey`] — the symbolic structure of
+//!   the decomposition plus the resolved approach, parameters and factorization
+//!   kind.  A cache hit checks out a *warm* solver (factors, coarse problem and
+//!   assembled dual operator intact) and skips preprocessing entirely,
+//! - **admission control**: each job's persistent device footprint is estimated by
+//!   the [`Planner`] *before* anything is constructed, reserved FIFO-fairly against
+//!   a [`DeviceBudget`], and jobs that could never fit are rejected with a typed
+//!   error instead of crashing a worker mid-solve,
+//! - **typed errors everywhere**: queue-full, shutdown, admission and solve failures
+//!   all surface as [`ServiceError`] values; a panicking job is caught and reported
+//!   without taking down its worker thread.
+
+use feti_core::planner::{Plan, PlanCacheKey, Planner};
+use feti_core::{
+    DualOperatorApproach, ExplicitAssemblyParams, FetiError, FetiSolution, LoadCase, PcpgOptions,
+    TotalFetiSolver,
+};
+use feti_decompose::DecomposedProblem;
+use feti_gpu::{BudgetError, DeviceBudget, GpuSpec};
+use feti_solver::FactorizationKind;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Configuration of a [`FetiService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (each drives the solver's parallel subdomain
+    /// loops on the shimmed rayon pool).
+    pub workers: usize,
+    /// Worker-thread count for each job's *internal* parallel regions; `None`
+    /// inherits the process-wide configuration (`FETI_THREADS`).
+    pub solver_threads: Option<usize>,
+    /// Maximum number of idle warm solvers kept in the cache (least recently used
+    /// keys are evicted beyond this).
+    pub cache_capacity: usize,
+    /// Modelled device-memory budget shared by all running jobs, in bytes.
+    pub device_budget_bytes: usize,
+    /// Maximum number of queued (not yet running) jobs before submissions are
+    /// rejected with [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Device description used for planning and admission estimates.
+    pub gpu: GpuSpec,
+    /// Amortization horizon handed to the planner when a job does not specify one.
+    pub default_expected_iterations: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let gpu = GpuSpec::a100_40gb();
+        Self {
+            workers: 2,
+            solver_threads: None,
+            cache_capacity: 8,
+            device_budget_bytes: gpu.memory_capacity_bytes,
+            queue_capacity: 64,
+            gpu,
+            default_expected_iterations: 200,
+        }
+    }
+}
+
+/// One solve request.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Tenant this job belongs to (fairness and accounting unit).
+    pub tenant: String,
+    /// The decomposed problem (shared; the service never copies it).
+    pub problem: Arc<DecomposedProblem>,
+    /// Dual-operator approach; `None` lets the planner choose.
+    pub approach: Option<DualOperatorApproach>,
+    /// Explicit-assembly parameters; `None` uses the planned/auto-configured ones.
+    pub params: Option<ExplicitAssemblyParams>,
+    /// Host factorization kind; `None` uses the planned/default one.
+    pub factorization: Option<FactorizationKind>,
+    /// Load cases to solve; empty means the problem's assembled baseline loads.
+    pub loads: Vec<LoadCase>,
+    /// PCPG options.
+    pub options: PcpgOptions,
+    /// Expected PCPG iteration count for amortized planning; 0 uses the service
+    /// default.
+    pub expected_iterations: usize,
+}
+
+impl JobSpec {
+    /// A job with default options solving the baseline loads, approach chosen by the
+    /// planner.
+    #[must_use]
+    pub fn new(tenant: impl Into<String>, problem: Arc<DecomposedProblem>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            problem,
+            approach: None,
+            params: None,
+            factorization: None,
+            loads: Vec::new(),
+            options: PcpgOptions::default(),
+            expected_iterations: 0,
+        }
+    }
+
+    /// Pins the dual-operator approach instead of planning it.
+    #[must_use]
+    pub fn with_approach(mut self, approach: DualOperatorApproach) -> Self {
+        self.approach = Some(approach);
+        self
+    }
+
+    /// Sets the load cases.
+    #[must_use]
+    pub fn with_loads(mut self, loads: Vec<LoadCase>) -> Self {
+        self.loads = loads;
+        self
+    }
+}
+
+/// Whether a job's solver came out of the cache warm or was built cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A warm solver with finished preprocessing was checked out.
+    Hit,
+    /// A solver was constructed and preprocessed from scratch.
+    Miss,
+}
+
+/// The result of one completed job.
+pub struct JobReport {
+    /// Tenant the job belonged to.
+    pub tenant: String,
+    /// One solution per load case (one entry for the baseline-load job).
+    pub solutions: Vec<FetiSolution>,
+    /// The cache key the job resolved to.
+    pub key: PlanCacheKey,
+    /// Whether the solver came from the cache.
+    pub cache: CacheOutcome,
+    /// Wall-clock seconds spent obtaining a ready (preprocessed) solver — near zero
+    /// on a cache hit, construction + factorization + assembly on a miss.
+    pub preprocess_seconds: f64,
+    /// Wall-clock seconds spent in the PCPG solve itself.
+    pub solve_seconds: f64,
+    /// Modelled persistent device bytes reserved while the job ran.
+    pub reserved_device_bytes: usize,
+}
+
+/// Errors surfaced by the service.  Every failure path is typed — a misbehaving job
+/// is reported, never propagated as a panic into the runtime.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The pending-job queue is at capacity; retry later.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+    /// Admission control rejected or could not serve the job's modelled device
+    /// footprint.
+    Admission(BudgetError),
+    /// The solve itself failed.
+    Solve(FetiError),
+    /// The job panicked on its worker; the worker survived and the panic payload
+    /// message is attached when printable.
+    JobPanicked(String),
+    /// The worker executing the job disappeared without replying (process-level
+    /// failure; should not happen).
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} pending jobs)")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Admission(e) => write!(f, "admission control: {e}"),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::JobPanicked(m) => write!(f, "job panicked: {m}"),
+            ServiceError::WorkerLost => write!(f, "worker lost before replying"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<FetiError> for ServiceError {
+    fn from(e: FetiError) -> Self {
+        ServiceError::Solve(e)
+    }
+}
+
+impl From<BudgetError> for ServiceError {
+    fn from(e: BudgetError) -> Self {
+        ServiceError::Admission(e)
+    }
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs completed successfully.
+    pub jobs_completed: usize,
+    /// Jobs that failed (solve error or panic).
+    pub jobs_failed: usize,
+    /// Cache hits (warm solver checked out).
+    pub cache_hits: usize,
+    /// Cache misses (cold construction).
+    pub cache_misses: usize,
+    /// Warm solvers evicted to respect the cache capacity.
+    pub cache_evictions: usize,
+    /// Jobs completed per tenant.
+    pub per_tenant_jobs: Vec<(String, usize)>,
+}
+
+/// A handle to one submitted job.
+#[derive(Debug)]
+pub struct JobTicket {
+    rx: mpsc::Receiver<Result<JobReport, ServiceError>>,
+}
+
+impl JobTicket {
+    /// Blocks until the job finishes and returns its report.
+    ///
+    /// # Errors
+    /// Any [`ServiceError`] the job ran into.
+    pub fn wait(self) -> Result<JobReport, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+}
+
+/// A job after admission: the resolved configuration plus the reply channel.
+struct QueuedJob {
+    spec: JobSpec,
+    key: PlanCacheKey,
+    approach: DualOperatorApproach,
+    params: ExplicitAssemblyParams,
+    factorization: FactorizationKind,
+    persistent_bytes: usize,
+    reply: mpsc::Sender<Result<JobReport, ServiceError>>,
+}
+
+/// The tenant-fair pending queue: one FIFO per tenant, drained round-robin.
+#[derive(Default)]
+struct JobQueue {
+    per_tenant: HashMap<String, VecDeque<QueuedJob>>,
+    rotation: VecDeque<String>,
+    len: usize,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn push(&mut self, job: QueuedJob) {
+        let tenant = job.spec.tenant.clone();
+        let q = self.per_tenant.entry(tenant.clone()).or_default();
+        if q.is_empty() {
+            self.rotation.push_back(tenant);
+        }
+        q.push_back(job);
+        self.len += 1;
+    }
+
+    /// Takes the next job, rotating across tenants so every tenant with pending work
+    /// is served once per round.
+    fn pop(&mut self) -> Option<QueuedJob> {
+        let tenant = self.rotation.pop_front()?;
+        let q = self.per_tenant.get_mut(&tenant).expect("rotation tenant has a queue");
+        let job = q.pop_front().expect("rotation tenant queue is non-empty");
+        if q.is_empty() {
+            self.per_tenant.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        self.len -= 1;
+        Some(job)
+    }
+}
+
+/// The warm-solver cache: idle preprocessed solvers by cache key, LRU-evicted.
+struct SolverCache {
+    capacity: usize,
+    entries: HashMap<PlanCacheKey, Vec<TotalFetiSolver>>,
+    /// Keys by recency, most recent at the back; duplicates resolved lazily.
+    lru: VecDeque<PlanCacheKey>,
+    len: usize,
+}
+
+impl SolverCache {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, entries: HashMap::new(), lru: VecDeque::new(), len: 0 }
+    }
+
+    /// Checks a warm solver out of the cache (it is owned by the job while running
+    /// and returned through [`SolverCache::release`]).
+    fn claim(&mut self, key: &PlanCacheKey) -> Option<TotalFetiSolver> {
+        let pool = self.entries.get_mut(key)?;
+        let solver = pool.pop()?;
+        if pool.is_empty() {
+            self.entries.remove(key);
+        }
+        self.len -= 1;
+        Some(solver)
+    }
+
+    /// Returns a warm solver to the cache, evicting least-recently-used entries to
+    /// respect the capacity.  Returns how many solvers were evicted.
+    fn release(&mut self, key: PlanCacheKey, solver: TotalFetiSolver) -> usize {
+        if self.capacity == 0 {
+            return 1;
+        }
+        self.entries.entry(key).or_default().push(solver);
+        self.len += 1;
+        self.lru.retain(|k| *k != key);
+        self.lru.push_back(key);
+        let mut evicted = 0;
+        while self.len > self.capacity {
+            let Some(old) = self.lru.front().copied() else { break };
+            if let Some(pool) = self.entries.get_mut(&old) {
+                if pool.pop().is_some() {
+                    self.len -= 1;
+                    evicted += 1;
+                }
+                if pool.is_empty() {
+                    self.entries.remove(&old);
+                    self.lru.pop_front();
+                }
+            } else {
+                self.lru.pop_front();
+            }
+        }
+        evicted
+    }
+}
+
+struct ServiceShared {
+    config: ServiceConfig,
+    queue: Mutex<JobQueue>,
+    queue_cv: Condvar,
+    cache: Mutex<SolverCache>,
+    budget: Arc<DeviceBudget>,
+    stats: Mutex<StatsInner>,
+    /// Resolved plans by (structure fingerprint, requested configuration): repeated
+    /// geometries skip the planner's symbolic analysis on the submit path too.
+    plans: Mutex<HashMap<PlanRequest, ResolvedPlan>>,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    jobs_completed: usize,
+    jobs_failed: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_evictions: usize,
+    per_tenant_jobs: HashMap<String, usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanRequest {
+    structure: u64,
+    approach: Option<DualOperatorApproach>,
+    params: Option<ExplicitAssemblyParams>,
+    factorization: Option<FactorizationKind>,
+    expected_iterations: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ResolvedPlan {
+    approach: DualOperatorApproach,
+    params: ExplicitAssemblyParams,
+    factorization: FactorizationKind,
+    persistent_bytes: usize,
+}
+
+/// Locks a service mutex, tolerating poison: the protected structures (queue, cache,
+/// counters) are consistent between operations, and a panicking job must not wedge
+/// the whole runtime.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The running service: spawn with [`FetiService::start`], feed with
+/// [`FetiService::submit`], stop with [`FetiService::shutdown`].
+pub struct FetiService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl FetiService {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        let budget = DeviceBudget::new(config.device_budget_bytes);
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(JobQueue::default()),
+            queue_cv: Condvar::new(),
+            cache: Mutex::new(SolverCache::new(config.cache_capacity)),
+            budget,
+            stats: Mutex::new(StatsInner::default()),
+            plans: Mutex::new(HashMap::new()),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("feti-service-worker-{w}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits a job.  Admission control runs here, before the job is queued:
+    /// the approach is resolved (planned if unspecified), its persistent device
+    /// footprint is estimated, and a job that could never fit the budget — or does
+    /// not find queue space — is rejected with a typed error.
+    ///
+    /// # Errors
+    /// [`ServiceError::ShuttingDown`], [`ServiceError::QueueFull`] or
+    /// [`ServiceError::Admission`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServiceError> {
+        let resolved = self.resolve(&spec);
+        if !self.shared.budget.admissible(resolved.persistent_bytes) {
+            return Err(ServiceError::Admission(BudgetError::ExceedsBudget {
+                requested: resolved.persistent_bytes,
+                budget: self.shared.budget.capacity_bytes(),
+            }));
+        }
+        let key = PlanCacheKey::new(
+            &spec.problem,
+            resolved.approach,
+            resolved.params,
+            resolved.factorization,
+        );
+        let (tx, rx) = mpsc::channel();
+        let job = QueuedJob {
+            spec,
+            key,
+            approach: resolved.approach,
+            params: resolved.params,
+            factorization: resolved.factorization,
+            persistent_bytes: resolved.persistent_bytes,
+            reply: tx,
+        };
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.closed {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if q.len >= self.shared.config.queue_capacity {
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            q.push(job);
+        }
+        self.shared.queue_cv.notify_one();
+        Ok(JobTicket { rx })
+    }
+
+    /// Resolves a job's approach, parameters, factorization and modelled footprint —
+    /// through the plan cache when this geometry and request were seen before.
+    fn resolve(&self, spec: &JobSpec) -> ResolvedPlan {
+        let expected = if spec.expected_iterations == 0 {
+            self.shared.config.default_expected_iterations
+        } else {
+            spec.expected_iterations
+        };
+        let request = PlanRequest {
+            structure: PlanCacheKey::structure_fingerprint(&spec.problem),
+            approach: spec.approach,
+            params: spec.params,
+            factorization: spec.factorization,
+            expected_iterations: expected,
+        };
+        if let Some(hit) = lock(&self.shared.plans).get(&request) {
+            return *hit;
+        }
+        let planner = Planner::new(&spec.problem, self.shared.config.gpu);
+        let resolved = match spec.approach {
+            None => {
+                let plan: Plan = planner.plan_auto(expected);
+                let best = plan.best();
+                ResolvedPlan {
+                    approach: best.approach,
+                    params: spec.params.unwrap_or(best.params),
+                    factorization: spec.factorization.unwrap_or(best.factorization),
+                    persistent_bytes: best.persistent_device_bytes,
+                }
+            }
+            Some(approach) => {
+                let params = spec.params.unwrap_or_else(|| {
+                    ExplicitAssemblyParams::auto_configure(
+                        approach.generation().unwrap_or(feti_gpu::CudaGeneration::Legacy),
+                        spec.problem.spec.dim,
+                        spec.problem.spec.dofs_per_subdomain(),
+                    )
+                });
+                let factorization = spec.factorization.unwrap_or_default();
+                let candidate =
+                    planner.estimate_with_factorization(approach, params, factorization);
+                ResolvedPlan {
+                    approach,
+                    params,
+                    factorization,
+                    persistent_bytes: candidate.persistent_device_bytes,
+                }
+            }
+        };
+        lock(&self.shared.plans).insert(request, resolved);
+        resolved
+    }
+
+    /// Snapshot of the aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let s = lock(&self.shared.stats);
+        let mut per_tenant: Vec<(String, usize)> =
+            s.per_tenant_jobs.iter().map(|(t, n)| (t.clone(), *n)).collect();
+        per_tenant.sort();
+        ServiceStats {
+            jobs_completed: s.jobs_completed,
+            jobs_failed: s.jobs_failed,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
+            per_tenant_jobs: per_tenant,
+        }
+    }
+
+    /// Graceful shutdown: already-queued jobs finish, new submissions are rejected
+    /// with [`ServiceError::ShuttingDown`], workers drain and exit, and the final
+    /// counters are returned.  Never panics: a worker that died earlier (it caught
+    /// its jobs' panics, so this means a harness-level kill) is reported, not
+    /// propagated.
+    ///
+    /// # Errors
+    /// [`ServiceError::WorkerLost`] if a worker thread could not be joined.
+    pub fn shutdown(mut self) -> Result<ServiceStats, ServiceError> {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.closed = true;
+        }
+        self.shared.queue_cv.notify_all();
+        let mut lost = false;
+        for handle in self.workers.drain(..) {
+            lost |= handle.join().is_err();
+        }
+        // Unblock any straggler waiting on budget (nothing should be, after join).
+        self.shared.budget.close();
+        if lost {
+            return Err(ServiceError::WorkerLost);
+        }
+        Ok(self.stats())
+    }
+}
+
+/// One worker thread: pop tenant-fairly, reserve budget, check the cache, solve,
+/// release the warm solver back, reply.  Panicking jobs are caught and reported.
+fn worker_main(shared: &Arc<ServiceShared>) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.pop() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let reply = job.reply.clone();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, job)));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(ServiceError::JobPanicked(msg))
+            }
+        };
+        {
+            let mut s = lock(&shared.stats);
+            match &result {
+                Ok(report) => {
+                    s.jobs_completed += 1;
+                    *s.per_tenant_jobs.entry(report.tenant.clone()).or_default() += 1;
+                }
+                Err(_) => s.jobs_failed += 1,
+            }
+        }
+        // A dropped ticket is fine — the job still ran and was accounted.
+        let _ = reply.send(result);
+    }
+}
+
+/// Executes one admitted job on the calling worker thread.
+fn run_job(shared: &Arc<ServiceShared>, job: QueuedJob) -> Result<JobReport, ServiceError> {
+    // FIFO-fair budget reservation: the job blocks here while other tenants' running
+    // jobs hold the modelled device memory, and errors out typed if the ledger closes.
+    let reservation = shared.budget.reserve(job.persistent_bytes)?;
+
+    let prep_start = Instant::now();
+    let (mut solver, cache) = match lock(&shared.cache).claim(&job.key) {
+        Some(warm) => (warm, CacheOutcome::Hit),
+        None => {
+            let solver = TotalFetiSolver::new_with_solver_options(
+                Arc::clone(&job.spec.problem),
+                job.approach,
+                Some(job.params),
+                feti_solver::SolverOptions {
+                    factorization: job.factorization,
+                    ..feti_solver::SolverOptions::default()
+                },
+                job.spec.options,
+            )?;
+            (solver, CacheOutcome::Miss)
+        }
+    };
+    solver.ensure_preprocessed()?;
+    let preprocess_seconds = prep_start.elapsed().as_secs_f64();
+    {
+        let mut s = lock(&shared.stats);
+        match cache {
+            CacheOutcome::Hit => s.cache_hits += 1,
+            CacheOutcome::Miss => s.cache_misses += 1,
+        }
+    }
+
+    let solve_start = Instant::now();
+    let baseline: Vec<LoadCase>;
+    let loads: &[LoadCase] = if job.spec.loads.is_empty() {
+        baseline =
+            vec![job.spec.problem.subdomains.iter().map(|sd| sd.assembled.load.clone()).collect()];
+        &baseline
+    } else {
+        &job.spec.loads
+    };
+    let solved = solver.solve_many(loads);
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+
+    match solved {
+        Ok(solutions) => {
+            // Return the warm solver for the next job with this geometry.
+            let evicted = lock(&shared.cache).release(job.key, solver);
+            if evicted > 0 {
+                lock(&shared.stats).cache_evictions += evicted;
+            }
+            drop(reservation);
+            Ok(JobReport {
+                tenant: job.spec.tenant,
+                solutions,
+                key: job.key,
+                cache,
+                preprocess_seconds,
+                solve_seconds,
+                reserved_device_bytes: job.persistent_bytes,
+            })
+        }
+        Err(e) => {
+            // A failed solve does not poison the cache: the solver is dropped.
+            drop(reservation);
+            Err(ServiceError::Solve(e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feti_decompose::DecompositionSpec;
+
+    fn problem() -> Arc<DecomposedProblem> {
+        Arc::new(DecomposedProblem::build(&DecompositionSpec::small_heat_2d()))
+    }
+
+    #[test]
+    fn queue_rotates_across_tenants() {
+        let mut q = JobQueue::default();
+        let p = problem();
+        let (tx, _rx) = mpsc::channel();
+        let key = PlanCacheKey::new(
+            &p,
+            DualOperatorApproach::ImplicitCholmod,
+            ExplicitAssemblyParams::default(),
+            FactorizationKind::Simplicial,
+        );
+        for (tenant, n) in [("a", 3), ("b", 1), ("c", 2)] {
+            for _ in 0..n {
+                q.push(QueuedJob {
+                    spec: JobSpec::new(tenant, Arc::clone(&p)),
+                    key,
+                    approach: DualOperatorApproach::ImplicitCholmod,
+                    params: ExplicitAssemblyParams::default(),
+                    factorization: FactorizationKind::Simplicial,
+                    persistent_bytes: 0,
+                    reply: tx.clone(),
+                });
+            }
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop().map(|j| j.spec.tenant)).collect();
+        assert_eq!(order, ["a", "b", "c", "a", "c", "a"]);
+    }
+
+    #[test]
+    fn cache_claims_and_evicts_lru() {
+        let p = problem();
+        let mk = |approach| {
+            TotalFetiSolver::new(Arc::clone(&p), approach, None, PcpgOptions::default()).unwrap()
+        };
+        let key = |approach| {
+            PlanCacheKey::new(
+                &p,
+                approach,
+                ExplicitAssemblyParams::default(),
+                FactorizationKind::Simplicial,
+            )
+        };
+        let mut cache = SolverCache::new(2);
+        let (ka, kb, kc) = (
+            key(DualOperatorApproach::ImplicitCholmod),
+            key(DualOperatorApproach::ImplicitMkl),
+            key(DualOperatorApproach::ExplicitMkl),
+        );
+        assert!(cache.claim(&ka).is_none(), "empty cache misses");
+        assert_eq!(cache.release(ka, mk(DualOperatorApproach::ImplicitCholmod)), 0);
+        assert_eq!(cache.release(kb, mk(DualOperatorApproach::ImplicitMkl)), 0);
+        // Touch `ka` so `kb` is the least recently used.
+        let a = cache.claim(&ka).expect("ka cached");
+        assert_eq!(cache.release(ka, a), 0);
+        assert_eq!(cache.release(kc, mk(DualOperatorApproach::ExplicitMkl)), 1);
+        assert!(cache.claim(&kb).is_none(), "kb was evicted as LRU");
+        assert!(cache.claim(&ka).is_some());
+        assert!(cache.claim(&kc).is_some());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let service = FetiService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let shared = Arc::clone(&service.shared);
+        service.shutdown().unwrap();
+        let orphan = FetiService { shared, workers: Vec::new() };
+        let err = orphan.submit(JobSpec::new("t", problem())).unwrap_err();
+        assert!(matches!(err, ServiceError::ShuttingDown));
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_at_admission() {
+        let service = FetiService::start(ServiceConfig {
+            workers: 1,
+            device_budget_bytes: 1,
+            ..ServiceConfig::default()
+        });
+        let err = service
+            .submit(
+                JobSpec::new("t", problem()).with_approach(DualOperatorApproach::ExplicitGpuLegacy),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Admission(BudgetError::ExceedsBudget { .. })));
+        // CPU-only jobs reserve nothing and sail through even a 1-byte budget.
+        let ticket = service
+            .submit(JobSpec::new("t", problem()).with_approach(DualOperatorApproach::ExplicitMkl))
+            .unwrap();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.reserved_device_bytes, 0);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn repeated_geometry_hits_the_cache_and_queue_full_is_typed() {
+        let service = FetiService::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 128,
+            ..ServiceConfig::default()
+        });
+        let p = problem();
+        let first = service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let second = service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(first.key, second.key);
+        assert!(
+            second.preprocess_seconds <= first.preprocess_seconds,
+            "warm checkout must not be slower than cold construction"
+        );
+        let stats = service.shutdown().unwrap();
+        assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+}

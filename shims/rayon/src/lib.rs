@@ -160,6 +160,17 @@ impl ThreadPool {
 /// overhead negligible, large enough that stealing can rebalance uneven item costs.
 const CHUNKS_PER_WORKER: usize = 4;
 
+/// Locks a worker deque, tolerating poison.  A task that panics on a worker thread
+/// poisons whichever deque mutex it held; the deque itself (plain index ranges) is
+/// always in a consistent state, so the other workers recover the guard and keep
+/// draining instead of cascading the panic through the whole pool — one bad task
+/// must not take down every parallel region that shares the pool.
+fn lock_queue(
+    q: &Mutex<VecDeque<Range<usize>>>,
+) -> std::sync::MutexGuard<'_, VecDeque<Range<usize>>> {
+    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Splits `0..n` into contiguous chunks and deals them round-robin onto one deque per
 /// worker.
 fn build_queues(n: usize, workers: usize) -> Vec<Mutex<VecDeque<Range<usize>>>> {
@@ -170,7 +181,7 @@ fn build_queues(n: usize, workers: usize) -> Vec<Mutex<VecDeque<Range<usize>>>> 
     let mut q = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        queues[q % workers].lock().expect("queue lock").push_back(start..end);
+        lock_queue(&queues[q % workers]).push_back(start..end);
         start = end;
         q += 1;
     }
@@ -185,12 +196,10 @@ fn worker_loop(w: usize, queues: &[Mutex<VecDeque<Range<usize>>>], task: &(impl 
         // The own-queue guard must drop before stealing: holding it while trying to
         // lock another worker's queue (which may simultaneously be stealing from this
         // one) would be a circular wait.
-        let own = queues[w].lock().expect("queue lock").pop_front();
+        let own = lock_queue(&queues[w]).pop_front();
         let chunk = match own {
             Some(range) => Some(range),
-            None => {
-                (1..nq).find_map(|k| queues[(w + k) % nq].lock().expect("queue lock").pop_back())
-            }
+            None => (1..nq).find_map(|k| lock_queue(&queues[(w + k) % nq]).pop_back()),
         };
         match chunk {
             Some(range) => {

@@ -36,7 +36,9 @@ pub fn elasticity_2d() -> DecompositionSpec {
     }
 }
 
-/// All three conformance problems with their display names.
+/// All three conformance problems with their display names.  Not every suite uses
+/// every helper; the module is compiled once per test binary.
+#[allow(dead_code)]
 pub fn problems() -> Vec<(&'static str, DecompositionSpec)> {
     vec![("heat/2D", heat_2d()), ("heat/3D", heat_3d()), ("elasticity/2D", elasticity_2d())]
 }
