@@ -52,13 +52,16 @@ fn bench_application(c: &mut Criterion) {
 
 fn bench_pcpg_solve(c: &mut Criterion) {
     use feti_core::{PcpgOptions, TotalFetiSolver};
-    let problem = build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 4);
+    use std::sync::Arc;
+    // Share the problem by handle so the timed loop measures solver construction and
+    // PCPG, not a deep copy of the decomposition.
+    let problem = Arc::new(build_problem(Dim::Two, Physics::HeatTransfer, ElementOrder::Linear, 4));
     let mut group = c.benchmark_group("pcpg");
     group.sample_size(10);
     group.bench_function("heat2d_explicit_gpu", |b| {
         b.iter(|| {
             let mut solver = TotalFetiSolver::new(
-                &problem,
+                Arc::clone(&problem),
                 DualOperatorApproach::ExplicitGpuLegacy,
                 None,
                 PcpgOptions::default(),

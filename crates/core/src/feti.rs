@@ -212,6 +212,21 @@ impl TotalFetiSolver {
         self.preprocessed.is_some()
     }
 
+    /// The PCPG options the next solve will use.
+    #[must_use]
+    pub fn options(&self) -> PcpgOptions {
+        self.options
+    }
+
+    /// Replaces the PCPG options used by subsequent solves.  Preprocessing state
+    /// (recovery factors, the coarse problem, the dual operator's factorization and
+    /// assembly) is independent of these options and stays intact, so a cached warm
+    /// solver can be retargeted to each job's tolerance, iteration cap and
+    /// preconditioner choice before solving.
+    pub fn set_options(&mut self, options: PcpgOptions) {
+        self.options = options;
+    }
+
     /// Runs the dual operator's preprocessing if it has not run yet and returns the
     /// recorded breakdown.  Idempotent: a warm solver returns the stored breakdown
     /// without redoing any work — this is what makes cached solvers skip
@@ -557,10 +572,13 @@ mod tests {
     fn solve_with(
         spec: &DecompositionSpec,
         approach: DualOperatorApproach,
-    ) -> (FetiSolution, DecomposedProblem) {
-        let problem = DecomposedProblem::build(spec);
+    ) -> (FetiSolution, Arc<DecomposedProblem>) {
+        // Hand the solver a clone of the shared handle, not a deep copy of the
+        // problem.
+        let problem = Arc::new(DecomposedProblem::build(spec));
         let mut solver =
-            TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default()).unwrap();
+            TotalFetiSolver::new(Arc::clone(&problem), approach, None, PcpgOptions::default())
+                .unwrap();
         let sol = solver.solve().unwrap();
         (sol, problem)
     }
@@ -640,9 +658,9 @@ mod tests {
     #[test]
     fn projector_is_idempotent_and_annihilates_g() {
         let spec = DecompositionSpec::small_heat_2d();
-        let problem = DecomposedProblem::build(&spec);
+        let problem = Arc::new(DecomposedProblem::build(&spec));
         let solver = TotalFetiSolver::new(
-            &problem,
+            Arc::clone(&problem),
             DualOperatorApproach::ImplicitCholmod,
             None,
             PcpgOptions::default(),
@@ -671,7 +689,7 @@ mod tests {
         let doubled: LoadCase =
             baseline.iter().map(|f| f.iter().map(|v| v * 2.0).collect()).collect();
         let mut batch_solver = TotalFetiSolver::new(
-            &problem,
+            Arc::new(problem),
             DualOperatorApproach::ExplicitGpuLegacy,
             None,
             PcpgOptions::default(),
@@ -697,7 +715,7 @@ mod tests {
         let spec = DecompositionSpec::small_heat_2d();
         let problem = DecomposedProblem::build(&spec);
         let mut solver = TotalFetiSolver::new_planned(
-            &problem,
+            Arc::new(problem),
             GpuSpec::a100_40gb(),
             100,
             PcpgOptions::default(),
@@ -716,7 +734,7 @@ mod tests {
         let spec = DecompositionSpec::small_heat_2d();
         let problem = DecomposedProblem::build(&spec);
         let mut solver = TotalFetiSolver::new(
-            &problem,
+            Arc::new(problem),
             DualOperatorApproach::ExplicitGpuLegacy,
             None,
             PcpgOptions::default(),

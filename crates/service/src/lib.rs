@@ -354,7 +354,45 @@ struct ServiceShared {
     stats: Mutex<StatsInner>,
     /// Resolved plans by (structure fingerprint, requested configuration): repeated
     /// geometries skip the planner's symbolic analysis on the submit path too.
-    plans: Mutex<HashMap<PlanRequest, ResolvedPlan>>,
+    plans: Mutex<PlanCache>,
+}
+
+/// Bound on the submit-path plan memoization: enough for hundreds of distinct
+/// geometry/request shapes in flight, small next to one solver's footprint.
+const PLAN_CACHE_CAPACITY: usize = 512;
+
+/// The bounded plan memo: resolved plans by request, oldest entries evicted once
+/// the capacity is reached so a long-running multi-tenant service's stream of
+/// distinct geometries cannot grow it without bound.
+struct PlanCache {
+    capacity: usize,
+    map: HashMap<PlanRequest, ResolvedPlan>,
+    /// Insertion order; entries are never re-inserted while present, so a FIFO is
+    /// an exact eviction order.
+    order: VecDeque<PlanRequest>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, request: &PlanRequest) -> Option<ResolvedPlan> {
+        self.map.get(request).copied()
+    }
+
+    fn insert(&mut self, request: PlanRequest, resolved: ResolvedPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(request, resolved).is_none() {
+            self.order.push_back(request);
+            while self.map.len() > self.capacity {
+                let Some(old) = self.order.pop_front() else { break };
+                self.map.remove(&old);
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -409,7 +447,7 @@ impl FetiService {
             cache: Mutex::new(SolverCache::new(config.cache_capacity)),
             budget,
             stats: Mutex::new(StatsInner::default()),
-            plans: Mutex::new(HashMap::new()),
+            plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
             config,
         });
         let workers = (0..shared.config.workers.max(1))
@@ -488,19 +526,27 @@ impl FetiService {
             expected_iterations: expected,
         };
         if let Some(hit) = lock(&self.shared.plans).get(&request) {
-            return *hit;
+            return hit;
         }
         let planner = Planner::new(&spec.problem, self.shared.config.gpu);
         let resolved = match spec.approach {
             None => {
                 let plan: Plan = planner.plan_auto(expected);
                 let best = plan.best();
-                ResolvedPlan {
-                    approach: best.approach,
-                    params: spec.params.unwrap_or(best.params),
-                    factorization: spec.factorization.unwrap_or(best.factorization),
-                    persistent_bytes: best.persistent_device_bytes,
-                }
+                let params = spec.params.unwrap_or(best.params);
+                let factorization = spec.factorization.unwrap_or(best.factorization);
+                // A job-level params/factorization override changes what gets built,
+                // so the admission footprint is re-estimated for the overridden
+                // configuration instead of reusing the candidate planned with
+                // `best.params`.
+                let persistent_bytes = if spec.params.is_some() || spec.factorization.is_some() {
+                    planner
+                        .estimate_with_factorization(best.approach, params, factorization)
+                        .persistent_device_bytes
+                } else {
+                    best.persistent_device_bytes
+                };
+                ResolvedPlan { approach: best.approach, params, factorization, persistent_bytes }
             }
             Some(approach) => {
                 let params = spec.params.unwrap_or_else(|| {
@@ -572,6 +618,15 @@ impl FetiService {
 /// One worker thread: pop tenant-fairly, reserve budget, check the cache, solve,
 /// release the warm solver back, reply.  Panicking jobs are caught and reported.
 fn worker_main(shared: &Arc<ServiceShared>) {
+    // `solver_threads` pins the worker count of each job's internal parallel regions
+    // (subdomain loops on the shimmed rayon pool); `None` inherits the process-wide
+    // configuration (`FETI_THREADS`).
+    let solver_pool = shared.config.solver_threads.map(|n| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("the shimmed pool builder never fails")
+    });
     loop {
         let job = {
             let mut q = lock(&shared.queue);
@@ -587,7 +642,10 @@ fn worker_main(shared: &Arc<ServiceShared>) {
         };
         let reply = job.reply.clone();
         let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, job)));
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &solver_pool {
+                Some(pool) => pool.install(|| run_job(shared, job)),
+                None => run_job(shared, job),
+            }));
         let result = match outcome {
             Ok(r) => r,
             Err(payload) => {
@@ -622,7 +680,13 @@ fn run_job(shared: &Arc<ServiceShared>, job: QueuedJob) -> Result<JobReport, Ser
 
     let prep_start = Instant::now();
     let (mut solver, cache) = match lock(&shared.cache).claim(&job.key) {
-        Some(warm) => (warm, CacheOutcome::Hit),
+        Some(mut warm) => {
+            // The cache key covers symbolic structure, approach, parameters and
+            // factorization — not PCPG options.  Retarget the warm solver to this
+            // job's tolerance / iteration cap / preconditioner choice before solving.
+            warm.set_options(job.spec.options);
+            (warm, CacheOutcome::Hit)
+        }
         None => {
             let solver = TotalFetiSolver::new_with_solver_options(
                 Arc::clone(&job.spec.problem),
@@ -752,6 +816,84 @@ mod tests {
         assert!(cache.claim(&kb).is_none(), "kb was evicted as LRU");
         assert!(cache.claim(&ka).is_some());
         assert!(cache.claim(&kc).is_some());
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_and_evicts_oldest_first() {
+        let mut cache = PlanCache::new(2);
+        let req = |structure| PlanRequest {
+            structure,
+            approach: None,
+            params: None,
+            factorization: None,
+            expected_iterations: 10,
+        };
+        let plan = ResolvedPlan {
+            approach: DualOperatorApproach::ImplicitCholmod,
+            params: ExplicitAssemblyParams::default(),
+            factorization: FactorizationKind::Simplicial,
+            persistent_bytes: 0,
+        };
+        cache.insert(req(1), plan);
+        cache.insert(req(2), plan);
+        assert!(cache.get(&req(1)).is_some());
+        cache.insert(req(3), plan);
+        assert!(cache.get(&req(1)).is_none(), "oldest request is evicted at capacity");
+        assert!(cache.get(&req(2)).is_some());
+        assert!(cache.get(&req(3)).is_some());
+        // Overwriting a present request must not evict anything.
+        cache.insert(req(3), plan);
+        assert!(cache.get(&req(2)).is_some());
+        assert_eq!(cache.map.len(), 2);
+        assert_eq!(cache.order.len(), 2);
+    }
+
+    #[test]
+    fn warm_cache_hit_honors_the_jobs_pcpg_options() {
+        let service = FetiService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let p = problem();
+        let strict = service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+        assert_eq!(strict.cache, CacheOutcome::Miss);
+        let strict_iters = strict.solutions[0].iterations;
+        assert!(strict_iters > 1, "the default tolerance takes several PCPG iterations");
+        let mut loose = JobSpec::new("t", Arc::clone(&p));
+        loose.options.tolerance = 1e-3;
+        let report = service.submit(loose).unwrap().wait().unwrap();
+        assert_eq!(report.cache, CacheOutcome::Hit, "repeated geometry must hit the cache");
+        let loose_sol = &report.solutions[0];
+        assert!(
+            loose_sol.iterations < strict_iters,
+            "a warm hit must solve with the job's own looser tolerance \
+             ({} vs {strict_iters} iterations)",
+            loose_sol.iterations
+        );
+        assert!(loose_sol.final_residual < 1e-3);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn solver_threads_setting_keeps_solutions_bit_identical() {
+        let p = problem();
+        let run = |threads: usize| {
+            let service = FetiService::start(ServiceConfig {
+                workers: 1,
+                solver_threads: Some(threads),
+                ..ServiceConfig::default()
+            });
+            let mut report =
+                service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+            service.shutdown().unwrap();
+            report.solutions.remove(0)
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        assert_eq!(s1.iterations, s4.iterations);
+        for (a, b) in s1.lambda.iter().zip(&s4.lambda) {
+            assert_eq!(a.to_bits(), b.to_bits(), "multipliers must not depend on solver_threads");
+        }
+        for (a, b) in s1.global_solution.iter().zip(&s4.global_solution) {
+            assert_eq!(a.to_bits(), b.to_bits(), "solution must not depend on solver_threads");
+        }
     }
 
     #[test]

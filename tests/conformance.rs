@@ -48,9 +48,11 @@ fn every_approach_applies_the_same_operator() {
 #[test]
 fn every_approach_converges_to_the_same_solution() {
     for (name, spec) in problems() {
-        let problem = DecomposedProblem::build(&spec);
+        // One shared handle for the whole approach sweep: solver construction clones
+        // the Arc, not the decomposed problem.
+        let problem = std::sync::Arc::new(DecomposedProblem::build(&spec));
         let mut reference_solver = TotalFetiSolver::new(
-            &problem,
+            std::sync::Arc::clone(&problem),
             DualOperatorApproach::ImplicitCholmod,
             None,
             PcpgOptions::default(),
@@ -59,8 +61,13 @@ fn every_approach_converges_to_the_same_solution() {
         let reference = reference_solver.solve().unwrap();
         let ref_norm = blas::norm2(&reference.global_solution).max(f64::MIN_POSITIVE);
         for approach in DualOperatorApproach::all() {
-            let mut solver =
-                TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default()).unwrap();
+            let mut solver = TotalFetiSolver::new(
+                std::sync::Arc::clone(&problem),
+                approach,
+                None,
+                PcpgOptions::default(),
+            )
+            .unwrap();
             let sol = solver.solve().unwrap();
             assert!(sol.final_residual < 1e-8, "{name} {approach:?} must converge");
             let diff: Vec<f64> = sol

@@ -49,10 +49,11 @@ fn reference_solution(spec: &DecompositionSpec) -> std::collections::HashMap<[i6
 fn feti_solution(
     spec: &DecompositionSpec,
     approach: DualOperatorApproach,
-) -> (DecomposedProblem, Vec<Vec<f64>>) {
-    let problem = DecomposedProblem::build(spec);
+) -> (std::sync::Arc<DecomposedProblem>, Vec<Vec<f64>>) {
+    // Hand the solver a clone of the shared handle, not a deep copy of the problem.
+    let problem = std::sync::Arc::new(DecomposedProblem::build(spec));
     let mut solver = TotalFetiSolver::new(
-        &problem,
+        std::sync::Arc::clone(&problem),
         approach,
         None,
         PcpgOptions { max_iterations: 2000, tolerance: 1e-10, use_preconditioner: true },

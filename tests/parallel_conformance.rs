@@ -74,13 +74,19 @@ fn operator_action_is_bit_identical_across_thread_counts() {
 #[test]
 fn solutions_and_iteration_counts_are_bit_identical_across_thread_counts() {
     for (name, spec) in problems() {
-        let problem = DecomposedProblem::build(&spec);
+        // One shared handle for the whole sweep: solver construction clones the Arc,
+        // not the decomposed problem.
+        let problem = std::sync::Arc::new(DecomposedProblem::build(&spec));
         for approach in DualOperatorApproach::all() {
             let run = |threads: usize| {
                 with_threads(threads, || {
-                    let mut solver =
-                        TotalFetiSolver::new(&problem, approach, None, PcpgOptions::default())
-                            .unwrap();
+                    let mut solver = TotalFetiSolver::new(
+                        std::sync::Arc::clone(&problem),
+                        approach,
+                        None,
+                        PcpgOptions::default(),
+                    )
+                    .unwrap();
                     solver.solve().unwrap()
                 })
             };

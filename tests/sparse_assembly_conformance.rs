@@ -126,11 +126,13 @@ fn operator_action_is_bit_identical() {
 #[test]
 fn solutions_and_iteration_counts_are_bit_identical() {
     for (name, spec) in problems() {
-        let problem = DecomposedProblem::build(&spec);
+        // One shared handle for the whole pair sweep: solver construction clones the
+        // Arc, not the decomposed problem.
+        let problem = std::sync::Arc::new(DecomposedProblem::build(&spec));
         for pair in PAIRS {
             let solve = |approach| {
                 let mut solver = TotalFetiSolver::new(
-                    &problem,
+                    std::sync::Arc::clone(&problem),
                     approach,
                     Some(pinned_params()),
                     PcpgOptions::default(),
