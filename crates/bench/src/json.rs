@@ -435,6 +435,40 @@ pub fn validate_perf_trajectory(doc: &Value) -> Result<(), String> {
             ));
         }
     }
+
+    let pool = doc.get("pool").ok_or_else(|| "missing 'pool'".to_string())?;
+    let pool_threads = require_num(pool, "pool", "threads")?;
+    if pool_threads < 2.0 || pool_threads.fract() != 0.0 {
+        return Err(format!("pool.threads: must be an integer >= 2, got {pool_threads}"));
+    }
+    let cutoff = require_num(pool, "pool", "inline_cutoff")?;
+    if cutoff < 0.0 || cutoff.fract() != 0.0 {
+        return Err(format!("pool.inline_cutoff: must be a non-negative integer, got {cutoff}"));
+    }
+    let entry =
+        pool.get("region_entry").ok_or_else(|| "pool: missing 'region_entry'".to_string())?;
+    for key in ["items", "regions"] {
+        let x = require_num(entry, "pool.region_entry", key)?;
+        if x < 1.0 || x.fract() != 0.0 {
+            return Err(format!("pool.region_entry.{key}: must be a positive integer, got {x}"));
+        }
+    }
+    // Each comparison pairs the retained spawn-per-region baseline driver with the
+    // persistent parked pool; the speedup is spawn / persistent with the same 1 ns
+    // denominator floor as the service section.
+    for name in ["region_entry", "apply", "preprocess"] {
+        let section = pool.get(name).ok_or_else(|| format!("pool: missing '{name}'"))?;
+        let label = format!("pool.{name}");
+        let spawn = require_nonneg(section, &label, "spawn_per_region_s")?;
+        let persistent = require_nonneg(section, &label, "persistent_s")?;
+        let speedup = require_nonneg(section, &label, "speedup")?;
+        let expected = spawn / persistent.max(1e-9);
+        if (speedup - expected).abs() > 1e-9 * speedup.max(1.0) {
+            return Err(format!(
+                "{label}: speedup {speedup} inconsistent with {spawn}/{persistent}"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -543,6 +577,39 @@ mod tests {
                     ("latency_speedup", Value::Num(0.25 / 0.01)),
                 ]),
             ),
+            (
+                "pool",
+                Value::obj(vec![
+                    ("threads", Value::Num(4.0)),
+                    ("inline_cutoff", Value::Num(256.0)),
+                    (
+                        "region_entry",
+                        Value::obj(vec![
+                            ("items", Value::Num(64.0)),
+                            ("regions", Value::Num(200.0)),
+                            ("spawn_per_region_s", Value::Num(2e-4)),
+                            ("persistent_s", Value::Num(5e-6)),
+                            ("speedup", Value::Num(2e-4 / 5e-6)),
+                        ]),
+                    ),
+                    (
+                        "apply",
+                        Value::obj(vec![
+                            ("spawn_per_region_s", Value::Num(4e-4)),
+                            ("persistent_s", Value::Num(1e-4)),
+                            ("speedup", Value::Num(4.0)),
+                        ]),
+                    ),
+                    (
+                        "preprocess",
+                        Value::obj(vec![
+                            ("spawn_per_region_s", Value::Num(6e-3)),
+                            ("persistent_s", Value::Num(5e-3)),
+                            ("speedup", Value::Num(1.2)),
+                        ]),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -642,6 +709,43 @@ mod tests {
                     *v = Value::Str("other".to_string());
                 }
             });
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Missing pool section.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "pool");
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Inconsistent pool region-entry speedup.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(pool))) = pairs.iter_mut().find(|(k, _)| k == "pool") {
+                if let Some((_, Value::Obj(entry))) =
+                    pool.iter_mut().find(|(k, _)| k == "region_entry")
+                {
+                    entry.iter_mut().for_each(|(k, v)| {
+                        if k == "speedup" {
+                            *v = Value::Num(1.0);
+                        }
+                    });
+                }
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // A single-threaded pool comparison is meaningless.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(pool))) = pairs.iter_mut().find(|(k, _)| k == "pool") {
+                pool.iter_mut().for_each(|(k, v)| {
+                    if k == "threads" {
+                        *v = Value::Num(1.0);
+                    }
+                });
+            }
         }
         assert!(validate_perf_trajectory(&doc).is_err());
     }

@@ -85,7 +85,7 @@ impl ImplicitCpuOperator {
         opts: SolverOptions,
     ) -> Self {
         let symbolic: Vec<CpuSymbolic> =
-            blocks.par_iter().map(|b| make_symbolic(approach, b, opts)).collect();
+            blocks.par_iter().with_max_len(1).map(|b| make_symbolic(approach, b, opts)).collect();
         let factors = blocks.iter().map(|_| None).collect();
         Self { approach, blocks, num_lambdas, symbolic, factors, stats: SharedStats::default() }
     }
@@ -106,6 +106,7 @@ impl DualOperator for ImplicitCpuOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .with_max_len(1)
             .map(|(block, symbolic)| {
                 let start = Instant::now();
                 let factor = match symbolic {
@@ -135,6 +136,7 @@ impl DualOperator for ImplicitCpuOperator {
             .blocks
             .par_iter()
             .zip(self.factors.par_iter())
+            .with_max_len(1)
             .map(|(block, factor)| {
                 let factor = factor.as_ref().expect("preprocess must be called before apply");
                 let start = Instant::now();
@@ -194,7 +196,7 @@ impl ExplicitCpuOperator {
         opts: SolverOptions,
     ) -> Self {
         let symbolic: Vec<CpuSymbolic> =
-            blocks.par_iter().map(|b| make_symbolic(approach, b, opts)).collect();
+            blocks.par_iter().with_max_len(1).map(|b| make_symbolic(approach, b, opts)).collect();
         let f_local = blocks.iter().map(|_| None).collect();
         Self { approach, blocks, num_lambdas, symbolic, f_local, stats: SharedStats::default() }
     }
@@ -250,6 +252,7 @@ impl DualOperator for ExplicitCpuOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .with_max_len(1)
             .map(|(block, symbolic)| {
                 let start = Instant::now();
                 let f = Self::assemble_local(approach, symbolic, block)?;
@@ -276,6 +279,7 @@ impl DualOperator for ExplicitCpuOperator {
             .blocks
             .par_iter()
             .zip(self.f_local.par_iter())
+            .with_max_len(1)
             .map(|(block, f)| {
                 let f = f.as_ref().expect("preprocess must be called before apply");
                 let start = Instant::now();
@@ -307,6 +311,7 @@ impl DualOperator for ExplicitCpuOperator {
             .blocks
             .par_iter()
             .zip(self.f_local.par_iter())
+            .with_max_len(1)
             .map(|(block, f)| {
                 let f = f.as_ref().expect("preprocess must be called before apply");
                 let nl = block.num_local_lambdas();

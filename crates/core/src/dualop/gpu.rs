@@ -74,8 +74,11 @@ impl ImplicitGpuOperator {
         opts: SolverOptions,
     ) -> crate::Result<Self> {
         let generation = approach.generation().unwrap_or(CudaGeneration::Legacy);
-        let symbolic: Vec<CholmodLike> =
-            blocks.par_iter().map(|b| CholmodLike::analyze(&b.k_reg, opts)).collect();
+        let symbolic: Vec<CholmodLike> = blocks
+            .par_iter()
+            .with_max_len(1)
+            .map(|b| CholmodLike::analyze(&b.k_reg, opts))
+            .collect();
         let device = GpuDevice::a100_like();
         for (b, s) in blocks.iter().zip(&symbolic) {
             let persistent = s.factor_nnz() * 16 + b.b.bytes() + b.num_dofs() * 16;
@@ -112,6 +115,7 @@ impl DualOperator for ImplicitGpuOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .with_max_len(1)
             .map(|(block, symbolic)| {
                 let start = Instant::now();
                 let factor: CholmodFactor = symbolic.factorize(&block.k_reg)?;
@@ -142,6 +146,7 @@ impl DualOperator for ImplicitGpuOperator {
             .blocks
             .par_iter()
             .zip(self.factors.par_iter())
+            .with_max_len(1)
             .map(|(block, df)| {
                 let df = df.as_ref().expect("preprocess must be called before apply");
                 let p_local = block.scatter(p);
@@ -181,6 +186,7 @@ impl DualOperator for ImplicitGpuOperator {
             .blocks
             .par_iter()
             .zip(self.factors.par_iter())
+            .with_max_len(1)
             .map(|(block, df)| {
                 let df = df.as_ref().expect("preprocess must be called before apply");
                 let nl = block.num_local_lambdas();
@@ -495,8 +501,11 @@ impl ExplicitGpuOperator {
         opts: SolverOptions,
     ) -> crate::Result<Self> {
         let generation = approach.generation().unwrap_or(CudaGeneration::Legacy);
-        let symbolic: Vec<CholmodLike> =
-            blocks.par_iter().map(|b| CholmodLike::analyze(&b.k_reg, opts)).collect();
+        let symbolic: Vec<CholmodLike> = blocks
+            .par_iter()
+            .with_max_len(1)
+            .map(|b| CholmodLike::analyze(&b.k_reg, opts))
+            .collect();
         let device = GpuDevice::a100_like();
         for (b, s) in blocks.iter().zip(&symbolic) {
             let nl = b.num_local_lambdas();
@@ -567,6 +576,7 @@ impl DualOperator for ExplicitGpuOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .with_max_len(1)
             .map(|(block, symbolic)| {
                 // CPU part: numeric factorization and factor extraction.
                 let start = Instant::now();
@@ -641,6 +651,7 @@ fn apply_explicit_on_gpu(
     let locals: Vec<(Vec<f64>, Vec<GpuCost>)> = blocks
         .par_iter()
         .zip(f_local.par_iter())
+        .with_max_len(1)
         .map(|(block, f)| {
             let f = f.as_ref().expect("preprocess must be called before apply");
             let p_local = block.scatter(p);
@@ -703,6 +714,7 @@ fn apply_many_explicit_on_gpu(
     let locals: Vec<(DenseMatrix, Vec<GpuCost>)> = blocks
         .par_iter()
         .zip(f_local.par_iter())
+        .with_max_len(1)
         .map(|(block, f)| {
             let f = f.as_ref().expect("preprocess must be called before apply");
             let nl = block.num_local_lambdas();
@@ -798,8 +810,11 @@ impl HybridOperator {
         params: ExplicitAssemblyParams,
         opts: SolverOptions,
     ) -> crate::Result<Self> {
-        let symbolic: Vec<PardisoLike> =
-            blocks.par_iter().map(|b| PardisoLike::analyze(&b.k_reg, opts)).collect();
+        let symbolic: Vec<PardisoLike> = blocks
+            .par_iter()
+            .with_max_len(1)
+            .map(|b| PardisoLike::analyze(&b.k_reg, opts))
+            .collect();
         let device = GpuDevice::a100_like();
         for b in &blocks {
             let nl = b.num_local_lambdas();
@@ -835,6 +850,7 @@ impl DualOperator for HybridOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .with_max_len(1)
             .map(|(block, symbolic)| {
                 let start = Instant::now();
                 let factor = symbolic.factorize(&block.k_reg)?;

@@ -151,10 +151,12 @@ impl TotalFetiSolver {
         let solver_opts = SolverOptions::default();
         // Independent factorizations on the host pool; the indexed collect keeps
         // subdomain order and reports the lowest-index error, as a sequential loop
-        // would.
+        // would.  `with_max_len(1)` marks the region coarse: one heavy subdomain per
+        // chunk, never inlined by the shim's small-region cutoff.
         let recovery_factors: Vec<CholeskyFactor> = problem
             .subdomains
             .par_iter()
+            .with_max_len(1)
             .map(|sd| CholeskyFactor::new(&sd.k_reg, &solver_opts).map_err(FetiError::from))
             .collect::<Result<Vec<_>>>()?;
 
@@ -275,6 +277,7 @@ impl TotalFetiSolver {
             .problem
             .subdomains
             .par_iter()
+            .with_max_len(1)
             .map(|sd| {
                 let w_local: Vec<f64> = sd.lambda_map.iter().map(|&g| w[g]).collect();
                 let mut t = vec![0.0; sd.num_dofs()];
@@ -364,6 +367,7 @@ impl TotalFetiSolver {
             .zip(loads)
             .enumerate()
             .par_bridge()
+            .with_max_len(1)
             .map(|(s, ((sd, factor), f))| {
                 let lambda_local: Vec<f64> = sd.lambda_map.iter().map(|&g| lambda[g]).collect();
                 let mut rhs = f.clone();

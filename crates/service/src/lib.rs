@@ -43,7 +43,10 @@ pub struct ServiceConfig {
     /// loops on the shimmed rayon pool).
     pub workers: usize,
     /// Worker-thread count for each job's *internal* parallel regions; `None`
-    /// inherits the process-wide configuration (`FETI_THREADS`).
+    /// inherits the process-wide configuration (`FETI_THREADS`).  Each service
+    /// worker builds **one persistent pool** of this size at startup and reuses its
+    /// parked threads for every job it runs — jobs never pay pool construction or
+    /// thread spawn.
     pub solver_threads: Option<usize>,
     /// Maximum number of idle warm solvers kept in the cache (least recently used
     /// keys are evicted beyond this).
@@ -355,6 +358,12 @@ struct ServiceShared {
     /// Resolved plans by (structure fingerprint, requested configuration): repeated
     /// geometries skip the planner's symbolic analysis on the submit path too.
     plans: Mutex<PlanCache>,
+    /// One persistent solver pool per worker (index = worker index), built once at
+    /// startup from [`ServiceConfig::solver_threads`] and reused by every job the
+    /// worker runs — the pool's parked threads survive across jobs, so region entry
+    /// inside a job never pays thread spawn/join.  `None` entries inherit the
+    /// process-wide configuration (`FETI_THREADS` on the shim's global pool).
+    solver_pools: Vec<Option<rayon::ThreadPool>>,
 }
 
 /// Bound on the submit-path plan memoization: enough for hundreds of distinct
@@ -441,6 +450,21 @@ impl FetiService {
     #[must_use]
     pub fn start(config: ServiceConfig) -> Self {
         let budget = DeviceBudget::new(config.device_budget_bytes);
+        // `solver_threads` pins the worker count of each job's internal parallel
+        // regions (subdomain loops on the shimmed rayon pool).  Each service worker
+        // owns one persistent pool for its whole lifetime: the pool's parked
+        // threads are spawned lazily on the worker's first parallel region and
+        // reused by every subsequent job on that worker.
+        let solver_pools = (0..config.workers.max(1))
+            .map(|_| {
+                config.solver_threads.map(|n| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(n.max(1))
+                        .build()
+                        .expect("the shimmed pool builder never fails")
+                })
+            })
+            .collect();
         let shared = Arc::new(ServiceShared {
             queue: Mutex::new(JobQueue::default()),
             queue_cv: Condvar::new(),
@@ -448,6 +472,7 @@ impl FetiService {
             budget,
             stats: Mutex::new(StatsInner::default()),
             plans: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            solver_pools,
             config,
         });
         let workers = (0..shared.config.workers.max(1))
@@ -455,7 +480,7 @@ impl FetiService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("feti-service-worker-{w}"))
-                    .spawn(move || worker_main(&shared))
+                    .spawn(move || worker_main(&shared, w))
                     .expect("spawn service worker")
             })
             .collect();
@@ -617,16 +642,10 @@ impl FetiService {
 
 /// One worker thread: pop tenant-fairly, reserve budget, check the cache, solve,
 /// release the warm solver back, reply.  Panicking jobs are caught and reported.
-fn worker_main(shared: &Arc<ServiceShared>) {
-    // `solver_threads` pins the worker count of each job's internal parallel regions
-    // (subdomain loops on the shimmed rayon pool); `None` inherits the process-wide
-    // configuration (`FETI_THREADS`).
-    let solver_pool = shared.config.solver_threads.map(|n| {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n.max(1))
-            .build()
-            .expect("the shimmed pool builder never fails")
-    });
+fn worker_main(shared: &Arc<ServiceShared>, index: usize) {
+    // This worker's persistent solver pool, built once in `FetiService::start` and
+    // shared by every job this worker runs.
+    let solver_pool = shared.solver_pools[index].as_ref();
     loop {
         let job = {
             let mut q = lock(&shared.queue);
@@ -642,7 +661,7 @@ fn worker_main(shared: &Arc<ServiceShared>) {
         };
         let reply = job.reply.clone();
         let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &solver_pool {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match solver_pool {
                 Some(pool) => pool.install(|| run_job(shared, job)),
                 None => run_job(shared, job),
             }));
@@ -894,6 +913,44 @@ mod tests {
         for (a, b) in s1.global_solution.iter().zip(&s4.global_solution) {
             assert_eq!(a.to_bits(), b.to_bits(), "solution must not depend on solver_threads");
         }
+    }
+
+    #[test]
+    fn workers_reuse_one_persistent_solver_pool_across_jobs() {
+        // Regression test for the per-job pool rebuild: the worker's solver pool is
+        // built once at startup, its threads spawn lazily on the first job's first
+        // parallel region, and every later job runs on those same threads.
+        let service = FetiService::start(ServiceConfig {
+            workers: 1,
+            solver_threads: Some(2),
+            ..ServiceConfig::default()
+        });
+        let pool = service.shared.solver_pools[0]
+            .as_ref()
+            .expect("solver_threads is set, so the worker owns a pool");
+        assert!(
+            pool.worker_thread_ids().is_empty(),
+            "pool threads must spawn lazily, not at service startup"
+        );
+        let p = problem();
+        let first = service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let ids = pool.worker_thread_ids();
+        assert_eq!(
+            ids.len(),
+            1,
+            "the first job's subdomain regions must spawn the 2-thread pool's worker"
+        );
+        for _ in 0..3 {
+            let next = service.submit(JobSpec::new("t", Arc::clone(&p))).unwrap().wait().unwrap();
+            assert_eq!(next.cache, CacheOutcome::Hit);
+            assert_eq!(
+                pool.worker_thread_ids(),
+                ids,
+                "every job on this worker must reuse the same persistent pool threads"
+            );
+        }
+        service.shutdown().unwrap();
     }
 
     #[test]

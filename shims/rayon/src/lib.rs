@@ -1,36 +1,62 @@
-//! Offline stand-in for the `rayon` crate with **real** host parallelism.
+//! Offline stand-in for the `rayon` crate with **real** host parallelism on a
+//! persistent, parked work-stealing worker pool.
 //!
 //! The build environment has no access to crates.io, so this workspace shim provides
 //! the slice of rayon's API the repo uses — `par_iter` / `par_iter_mut` on slices and
 //! vectors, `par_bridge` on serial iterators, and the `map` / `zip` / `for_each` /
-//! `collect` adapters — executed on a real work-stealing pool of scoped `std::thread`
-//! workers.  Unlike the sequential shim it replaces, parallel regions genuinely run on
-//! several host threads:
+//! `collect` / `with_max_len` adapters.  Parallel regions genuinely run on several
+//! host threads:
 //!
+//! * workers are **persistent OS threads**: each [`ThreadPool`] lazily spawns
+//!   `num_threads - 1` workers on its first parallel region and parks them on a
+//!   condvar between regions, so region entry costs a queue push plus wakeups
+//!   (single-digit µs) instead of a spawn/join round trip (tens to hundreds of µs) —
+//!   this matters because the repo's hot phases are many *small* per-subdomain
+//!   regions;
 //! * the worker count defaults to [`std::thread::available_parallelism`] and can be
 //!   pinned with the `FETI_THREADS` environment variable (read once per process);
+//!   regions entered without an explicit [`ThreadPool::install`] run on one shared
+//!   global pool of that size, which (like real rayon's) is never torn down;
 //! * [`ThreadPool::install`] mirrors rayon's API for running a closure under an
-//!   explicit thread count (used by the parallel-vs-sequential conformance suite);
+//!   explicit pool; dropping a `ThreadPool` wakes and joins its parked workers;
+//! * regions whose item count is below an **inline cutoff** (default
+//!   [`INLINE_CUTOFF_DEFAULT`], overridable per process via `FETI_INLINE_CUTOFF`,
+//!   `0` disables inlining, or per pool via [`ThreadPoolBuilder::inline_cutoff`])
+//!   run entirely on the calling thread — fine-grained element loops are cheaper
+//!   serial than woken.  [`ParallelIterator::with_max_len`] marks a region as
+//!   *coarse* (few items, heavy per-item work, e.g. one subdomain factorization per
+//!   index) which both caps the chunk size and exempts the region from the cutoff;
 //! * work is chunked and distributed over per-worker deques; idle workers steal whole
-//!   chunks from the back of other workers' deques;
+//!   chunks from the back of other workers' deques (the own-queue guard is dropped
+//!   before stealing, so two idle workers can never hold each other's locks);
 //! * every combinator is *indexed*: item `i` of the result is always produced from
 //!   item `i` of the input, and `collect` writes each result into slot `i` of the
 //!   output buffer, so results are **bit-for-bit identical** to a sequential run
-//!   regardless of the thread count or the stealing order.  `collect::<Result<…>>`
-//!   reports the lowest-index error, matching what a sequential run would return.
+//!   regardless of the thread count, the pool, the cutoff, or the stealing order.
+//!   `collect::<Result<…>>` reports the lowest-index error, matching what a
+//!   sequential run would return;
+//! * a panicking task poisons nothing: each chunk runs under `catch_unwind`, the
+//!   first payload is re-raised on the submitting thread once the region has
+//!   quiesced, remaining chunks are discarded, and the pool's parked workers stay
+//!   usable for the next region;
+//! * [`ThreadPoolBuilder::spawn_per_region`] retains the previous scoped
+//!   spawn-per-region driver as a benchmarking baseline, so `perf_trajectory` can
+//!   measure the persistent pool's region-entry latency against it in one process.
 //!
 //! `DESIGN.md` (§ "Host parallelism") records this substitution; swapping the real
 //! rayon back in requires only deleting this shim from the workspace.
 
 #![warn(missing_docs)]
 
-use std::cell::{Cell, UnsafeCell};
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The rayon prelude: traits that put `par_iter`, `par_iter_mut` and `par_bridge` in
 /// scope.
@@ -42,8 +68,14 @@ pub mod prelude {
 }
 
 // ---------------------------------------------------------------------------
-// Thread-count configuration
+// Process-wide configuration
 // ---------------------------------------------------------------------------
+
+/// Default inline cutoff: parallel regions with fewer work items than this run on the
+/// calling thread unless marked coarse with [`ParallelIterator::with_max_len`].
+/// Overridable per process with `FETI_INLINE_CUTOFF` (`0` disables inlining) or per
+/// pool with [`ThreadPoolBuilder::inline_cutoff`].
+pub const INLINE_CUTOFF_DEFAULT: usize = 256;
 
 /// The process-wide default worker count: `FETI_THREADS` if set to a positive
 /// integer, otherwise the available hardware parallelism.
@@ -60,9 +92,36 @@ fn default_threads() -> usize {
     })
 }
 
+/// The process-wide inline cutoff: `FETI_INLINE_CUTOFF` if set to an integer
+/// (`0` disables inlining), otherwise [`INLINE_CUTOFF_DEFAULT`].
+fn default_inline_cutoff() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FETI_INLINE_CUTOFF")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(INLINE_CUTOFF_DEFAULT)
+    })
+}
+
+/// The effective per-thread configuration of a parallel region: which pool runs it,
+/// with how many participants, under which inline cutoff and driver.
+///
+/// Installed by [`ThreadPool::install`] and inherited by pool workers while they
+/// execute a region's tasks (mirroring real rayon, where `install` closures run
+/// *inside* the pool), so nested regions and `current_num_threads()` observe the
+/// innermost installed pool on every participating thread.
+#[derive(Clone)]
+struct Cfg {
+    threads: usize,
+    core: Arc<PoolCore>,
+    spawn_per_region: bool,
+    inline_cutoff: usize,
+}
+
 thread_local! {
-    /// Per-thread override installed by [`ThreadPool::install`].
-    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// The innermost installed configuration (`None` = process default/global pool).
+    static CFG: RefCell<Option<Cfg>> = const { RefCell::new(None) };
 }
 
 /// The number of worker threads parallel regions started from this thread will use.
@@ -71,7 +130,27 @@ thread_local! {
 /// otherwise the process default (`FETI_THREADS` or the available parallelism).
 #[must_use]
 pub fn current_num_threads() -> usize {
-    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(default_threads)
+    CFG.with(|c| c.borrow().as_ref().map(|cfg| cfg.threads)).unwrap_or_else(default_threads)
+}
+
+/// The inline cutoff governing parallel regions started from this thread: the
+/// innermost installed pool's cutoff, otherwise the process default
+/// (`FETI_INLINE_CUTOFF` or [`INLINE_CUTOFF_DEFAULT`]).  Shim extension (real rayon
+/// has no inline cutoff); used by the perf-trajectory benchmark to record the
+/// effective value.
+#[must_use]
+pub fn current_inline_cutoff() -> usize {
+    CFG.with(|c| c.borrow().as_ref().map(|cfg| cfg.inline_cutoff))
+        .unwrap_or_else(default_inline_cutoff)
+}
+
+/// The shared global pool used by regions entered without an explicit `install`.
+/// Like real rayon's global pool it is created on first use and never torn down.
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new().build().expect("building the global pool cannot fail")
+    })
 }
 
 /// Error returned by [`ThreadPoolBuilder::build`] (mirrors rayon's opaque error).
@@ -90,6 +169,8 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    inline_cutoff: Option<usize>,
+    spawn_per_region: bool,
 }
 
 impl ThreadPoolBuilder {
@@ -106,24 +187,66 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Overrides the inline small-region cutoff for regions run under this pool
+    /// (`0` disables inlining entirely).  Shim extension: real rayon always enters
+    /// the pool; this shim keeps fine-grained regions on the calling thread when
+    /// waking workers would cost more than the work itself.  Defaults to the process
+    /// value (`FETI_INLINE_CUTOFF` or [`INLINE_CUTOFF_DEFAULT`]).
+    #[must_use]
+    pub fn inline_cutoff(mut self, cutoff: usize) -> Self {
+        self.inline_cutoff = Some(cutoff);
+        self
+    }
+
+    /// Uses the legacy scoped spawn-per-region driver instead of the persistent
+    /// parked pool.  Shim extension kept solely as a benchmarking baseline (like
+    /// `blas::reference`): `perf_trajectory` measures region-entry latency of the
+    /// persistent pool against this mode in the same process.  Results are
+    /// bit-for-bit identical between the two drivers.
+    #[must_use]
+    pub fn spawn_per_region(mut self, enabled: bool) -> Self {
+        self.spawn_per_region = enabled;
+        self
+    }
+
+    /// Builds the pool.  Workers are spawned lazily on the pool's first parallel
+    /// region, so building is cheap and a pool that only ever runs inline or
+    /// single-threaded regions never starts a thread.
     ///
     /// # Errors
     /// Never fails in this shim; the `Result` mirrors rayon's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool {
+            num_threads: n,
+            inline_cutoff: self.inline_cutoff,
+            spawn_per_region: self.spawn_per_region,
+            core: Arc::new(PoolCore::new(n)),
+        })
     }
 }
 
-/// A handle fixing the worker count of the parallel regions run inside
-/// [`ThreadPool::install`].
+/// A persistent pool of parked worker threads, mirroring `rayon::ThreadPool`.
 ///
-/// Workers are scoped `std::thread`s spawned per parallel region (not persistent OS
-/// threads), so a `ThreadPool` is merely configuration — cheap to create and drop.
-#[derive(Debug)]
+/// `num_threads - 1` workers are spawned lazily on the first parallel region run
+/// under [`ThreadPool::install`] (the calling thread is the Nth participant) and
+/// park on a condvar between regions.  Dropping the pool wakes and joins them; the
+/// global default pool is never dropped.
 pub struct ThreadPool {
     num_threads: usize,
+    inline_cutoff: Option<usize>,
+    spawn_per_region: bool,
+    core: Arc<PoolCore>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .field("inline_cutoff", &self.inline_cutoff)
+            .field("spawn_per_region", &self.spawn_per_region)
+            .finish()
+    }
 }
 
 impl ThreadPool {
@@ -133,73 +256,416 @@ impl ThreadPool {
         self.num_threads
     }
 
-    /// Runs `op` with this pool's thread count governing every parallel region
-    /// entered from the calling thread, restoring the previous configuration on exit
-    /// (also on panic).
+    /// Runs `op` with this pool governing every parallel region entered from the
+    /// calling thread, restoring the previous configuration on exit (also on panic).
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
-        struct Restore(Option<usize>);
+        struct Restore(Option<Cfg>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                THREAD_OVERRIDE.with(|o| o.set(self.0));
+                CFG.with(|c| *c.borrow_mut() = self.0.take());
             }
         }
-        let previous = THREAD_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let previous = CFG.with(|c| c.replace(Some(self.cfg())));
         let _restore = Restore(previous);
         op()
+    }
+
+    /// The [`std::thread::ThreadId`]s of this pool's spawned workers — empty until
+    /// the first parallel region triggers the lazy spawn, stable afterwards for the
+    /// pool's whole lifetime.  Shim extension used by tests (e.g. `feti-service`
+    /// asserts that consecutive jobs on one service worker reuse the same solver
+    /// pool threads).
+    #[must_use]
+    pub fn worker_thread_ids(&self) -> Vec<std::thread::ThreadId> {
+        lock(&self.core.state).worker_ids.clone()
+    }
+
+    /// The effective configuration regions installed from this pool will run under.
+    fn cfg(&self) -> Cfg {
+        Cfg {
+            threads: self.num_threads,
+            core: Arc::clone(&self.core),
+            spawn_per_region: self.spawn_per_region,
+            inline_cutoff: self.inline_cutoff.unwrap_or_else(default_inline_cutoff),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Wakes every parked worker, waits for in-flight regions to drain (a pool can
+    /// only be dropped once no `install` borrows it, so at most foreign regions
+    /// submitted from other threads are still active) and joins the worker threads.
+    fn drop(&mut self) {
+        self.core.shutdown();
     }
 }
 
 // ---------------------------------------------------------------------------
-// The work-stealing driver
+// The persistent parked pool core
 // ---------------------------------------------------------------------------
 
-/// How many chunks each worker's deque starts with: small enough to keep per-chunk
-/// overhead negligible, large enough that stealing can rebalance uneven item costs.
+/// How many chunks each participant's deque starts with: small enough to keep
+/// per-chunk overhead negligible, large enough that stealing can rebalance uneven
+/// item costs.
 const CHUNKS_PER_WORKER: usize = 4;
 
-/// Locks a worker deque, tolerating poison.  A task that panics on a worker thread
-/// poisons whichever deque mutex it held; the deque itself (plain index ranges) is
-/// always in a consistent state, so the other workers recover the guard and keep
-/// draining instead of cascading the panic through the whole pool — one bad task
-/// must not take down every parallel region that shares the pool.
-fn lock_queue(
-    q: &Mutex<VecDeque<Range<usize>>>,
-) -> std::sync::MutexGuard<'_, VecDeque<Range<usize>>> {
-    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks a mutex, tolerating poison.  A task panic is caught per chunk and never
+/// unwinds through pool state, but the tolerance is kept everywhere (queues, pool
+/// state, region bookkeeping) so even an unforeseen panic path cannot cascade a
+/// poison error through every region sharing the pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Splits `0..n` into contiguous chunks and deals them round-robin onto one deque per
-/// worker.
-fn build_queues(n: usize, workers: usize) -> Vec<Mutex<VecDeque<Range<usize>>>> {
-    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+/// A raw pointer to a stack-allocated [`Region`], stored in the pool's active list.
+///
+/// Validity contract: the submitting thread keeps the `Region` alive until
+/// [`Region::wait_done`] returns, removes the pointer from the active list *before*
+/// waiting, and workers only engage (increment `helpers`) under the pool-state lock
+/// while the pointer is still listed — so every dereference happens strictly before
+/// the region is freed.
+#[derive(Clone, Copy)]
+struct RegionPtr(*const Region);
+
+// SAFETY: see the validity contract above; the pointee is Sync.
+unsafe impl Send for RegionPtr {}
+
+/// Shared state of one pool: the active-region list workers scan, the lazily
+/// spawned worker handles, and the shutdown flag.
+struct PoolState {
+    active: Vec<RegionPtr>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    worker_ids: Vec<std::thread::ThreadId>,
+    spawned: bool,
+    shutdown: bool,
+}
+
+/// The shareable core of a [`ThreadPool`]: worker threads hold an `Arc` of this and
+/// outlive the `ThreadPool` handle only until `shutdown` joins them.
+struct PoolCore {
+    threads: usize,
+    state: Mutex<PoolState>,
+    /// Workers park here between regions; signalled on region submission and on
+    /// shutdown.
+    work_cv: Condvar,
+}
+
+impl PoolCore {
+    fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            state: Mutex::new(PoolState {
+                active: Vec::new(),
+                handles: Vec::new(),
+                worker_ids: Vec::new(),
+                spawned: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        }
+    }
+
+    /// Wakes all parked workers and joins them.  Regions cannot be active at this
+    /// point for the owning thread (dropping the pool requires no outstanding
+    /// `install` borrow); workers finish whatever chunk they are on, observe the
+    /// shutdown flag, and exit.
+    fn shutdown(&self) {
+        let handles = {
+            let mut st = lock(&self.state);
+            st.shutdown = true;
+            std::mem::take(&mut st.handles)
+        };
+        self.work_cv.notify_all();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One parallel region: chunk deques plus the bookkeeping that lets pool workers
+/// help out and the submitter wait for full quiescence.
+///
+/// The region lives on the submitting thread's stack; `task` is a lifetime-erased
+/// borrow of the caller's closure, valid because the submitter does not return until
+/// [`Region::wait_done`] proves no worker can still touch the region.
+struct Region {
+    queues: Vec<Mutex<VecDeque<Range<usize>>>>,
+    task: &'static (dyn Fn(usize) + Sync),
+    /// Chunks not yet popped from any deque; a region with zero unclaimed chunks is
+    /// pruned from the pool's active list (nothing left to help with).
+    unclaimed: AtomicUsize,
+    /// Chunks not yet finished (executed or discarded after a panic).
+    pending: AtomicUsize,
+    /// Pool workers currently engaged with this region.
+    helpers: AtomicUsize,
+    /// Cap on engaged pool workers: the submitter occupies one deque itself.
+    max_helpers: usize,
+    /// Set on the first task panic; later chunks are claimed and discarded so the
+    /// region quiesces quickly instead of running doomed work.
+    panicked: AtomicBool,
+    /// The first panic payload, re-raised by the submitter after quiescence.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Configuration pool workers adopt while executing this region's tasks, so
+    /// nested regions and `current_num_threads()` see the submitter's installed
+    /// pool.
+    cfg: Cfg,
+    /// Mutex + condvar the submitter blocks on until `pending == 0 && helpers == 0`.
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Region {
+    /// Blocks until every chunk is finished and every engaged worker has exited.
+    ///
+    /// Must be called *after* the region is retired from the active list: no new
+    /// worker can engage, so once the counts hit zero the region is unreachable and
+    /// may be freed.  The final `helpers` decrement happens under the `done` mutex
+    /// (see `helper_exit`), so a spuriously woken waiter can never observe the
+    /// predicate true while the last worker still has region accesses in flight.
+    fn wait_done(&self) {
+        let mut guard = lock(&self.done);
+        while self.pending.load(Ordering::SeqCst) != 0 || self.helpers.load(Ordering::SeqCst) != 0 {
+            guard = self.done_cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Splits `0..n` into contiguous chunks and deals them round-robin onto one deque
+/// per participant; returns the deques and the total chunk count.  `max_len` (from
+/// [`ParallelIterator::with_max_len`]) caps the chunk size so coarse regions hand
+/// out single heavy items.
+fn build_queues(
+    n: usize,
+    workers: usize,
+    max_len: Option<usize>,
+) -> (Vec<Mutex<VecDeque<Range<usize>>>>, usize) {
+    let mut chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    if let Some(m) = max_len {
+        chunk = chunk.min(m.max(1));
+    }
     let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut chunks = 0;
     let mut start = 0;
     let mut q = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        lock_queue(&queues[q % workers]).push_back(start..end);
+        lock(&queues[q % workers]).push_back(start..end);
         start = end;
         q += 1;
+        chunks += 1;
     }
-    queues
+    (queues, chunks)
 }
 
-/// One worker: drain the own deque front-to-back, then steal whole chunks from the
-/// back of the other workers' deques until everything is empty.
-fn worker_loop(w: usize, queues: &[Mutex<VecDeque<Range<usize>>>], task: &(impl Fn(usize) + Sync)) {
-    let nq = queues.len();
+/// Drains a region's deques from participant slot `start`: pop the own deque
+/// front-to-back, then steal whole chunks from the back of the other deques until
+/// everything is claimed.  Each chunk runs under `catch_unwind`; after a panic the
+/// remaining chunks are claimed and discarded so the region quiesces.
+fn drain(region: &Region, start: usize) {
+    let nq = region.queues.len();
+    let w = start % nq;
     loop {
         // The own-queue guard must drop before stealing: holding it while trying to
-        // lock another worker's queue (which may simultaneously be stealing from this
-        // one) would be a circular wait.
-        let own = lock_queue(&queues[w]).pop_front();
+        // lock another participant's queue (which may simultaneously be stealing
+        // from this one) would be a circular wait.
+        let own = lock(&region.queues[w]).pop_front();
         let chunk = match own {
             Some(range) => Some(range),
-            None => (1..nq).find_map(|k| lock_queue(&queues[(w + k) % nq]).pop_back()),
+            None => (1..nq).find_map(|k| lock(&region.queues[(w + k) % nq]).pop_back()),
+        };
+        let Some(range) = chunk else { break };
+        region.unclaimed.fetch_sub(1, Ordering::SeqCst);
+        if !region.panicked.load(Ordering::SeqCst) {
+            let task = region.task;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for i in range {
+                    task(i);
+                }
+            }));
+            if let Err(payload) = result {
+                region.panicked.store(true, Ordering::SeqCst);
+                let mut slot = lock(&region.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        region.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Deregisters a pool worker from a region.  The decrement happens under the
+/// region's `done` mutex and is the worker's **last** access to the region: after
+/// it, the submitter's `wait_done` predicate may become true and the region freed.
+fn helper_exit(region: &Region) {
+    let guard = lock(&region.done);
+    let left = region.helpers.fetch_sub(1, Ordering::SeqCst) - 1;
+    if left == 0 && region.pending.load(Ordering::SeqCst) == 0 {
+        region.done_cv.notify_all();
+    }
+    drop(guard);
+}
+
+/// Spawns the pool's workers if they are not running yet.  Called under the
+/// pool-state lock from the first region submission.
+fn ensure_spawned(core: &Arc<PoolCore>, st: &mut PoolState) {
+    if st.spawned {
+        return;
+    }
+    st.spawned = true;
+    for w in 0..core.threads.saturating_sub(1) {
+        let core = Arc::clone(core);
+        let handle = std::thread::Builder::new()
+            .name(format!("feti-pool-{w}"))
+            .spawn(move || pool_worker(&core, w))
+            .expect("spawning a pool worker thread");
+        st.worker_ids.push(handle.thread().id());
+        st.handles.push(handle);
+    }
+}
+
+/// Body of a persistent pool worker: park until a region needs help, engage it,
+/// drain it under the region's installed configuration, deregister, repeat.
+fn pool_worker(core: &Arc<PoolCore>, index: usize) {
+    loop {
+        let ptr = {
+            let mut st = lock(&core.state);
+            'find: loop {
+                // Prune fully claimed regions: their submitters retire and free
+                // them; holding stale pointers beyond this scan would be unsound.
+                st.active.retain(|r| unsafe { &*r.0 }.unclaimed.load(Ordering::SeqCst) > 0);
+                for r in &st.active {
+                    // SAFETY: the pointer is in the active list and we hold the
+                    // state lock, so the submitter cannot have freed the region
+                    // (it retires the pointer under this lock before waiting).
+                    let region = unsafe { &*r.0 };
+                    if region.helpers.load(Ordering::SeqCst) < region.max_helpers {
+                        // Engaging under the state lock is what makes the
+                        // RegionPtr validity contract hold: the submitter waits
+                        // for `helpers` to reach zero after retiring the pointer.
+                        region.helpers.fetch_add(1, Ordering::SeqCst);
+                        break 'find *r;
+                    }
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = core.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // SAFETY: engaged above; the submitter cannot free the region until
+        // helper_exit() deregisters this worker.
+        let region = unsafe { &*ptr.0 };
+        let previous = CFG.with(|c| c.replace(Some(region.cfg.clone())));
+        drain(region, 1 + index);
+        CFG.with(|c| *c.borrow_mut() = previous);
+        helper_exit(region);
+    }
+}
+
+/// Submits a region to the pool: lazily spawns the workers, lists the region so the
+/// worker scan can find it, and wakes up to `max_helpers` parked workers.
+fn submit_region(core: &Arc<PoolCore>, region: &Region) {
+    {
+        let mut st = lock(&core.state);
+        ensure_spawned(core, &mut st);
+        st.active.push(RegionPtr(region as *const Region));
+    }
+    for _ in 0..region.max_helpers {
+        core.work_cv.notify_one();
+    }
+}
+
+/// Removes a region from the pool's active list so no further worker can engage it.
+fn retire_region(core: &PoolCore, region: &Region) {
+    let target = region as *const Region;
+    lock(&core.state).active.retain(|r| !std::ptr::eq(r.0, target));
+}
+
+/// Runs a region on the persistent pool: the calling thread submits, helps drain its
+/// own deques (so a worker submitting a nested region to its own pool always makes
+/// progress — no circular wait), retires the region, waits for quiescence, and
+/// re-raises the first task panic if there was one.
+fn run_region_persistent(
+    cfg: &Cfg,
+    n: usize,
+    workers: usize,
+    max_len: Option<usize>,
+    task: &(dyn Fn(usize) + Sync),
+) {
+    // SAFETY: only the lifetime is erased; the region (and with it this borrow) is
+    // provably unreachable from any pool worker once wait_done() returns below, and
+    // this function does not return before that.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
+    let (queues, chunks) = build_queues(n, workers, max_len);
+    let region = Region {
+        queues,
+        task: task_static,
+        unclaimed: AtomicUsize::new(chunks),
+        pending: AtomicUsize::new(chunks),
+        helpers: AtomicUsize::new(0),
+        max_helpers: workers - 1,
+        panicked: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        cfg: cfg.clone(),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+    submit_region(&cfg.core, &region);
+    drain(&region, 0);
+    retire_region(&cfg.core, &region);
+    region.wait_done();
+    let payload = lock(&region.panic).take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The legacy scoped spawn-per-region driver, kept as the benchmarking baseline
+/// behind [`ThreadPoolBuilder::spawn_per_region`].  Semantics match the persistent
+/// driver bit for bit; only the thread lifecycle differs.
+fn run_region_spawn(
+    cfg: &Cfg,
+    n: usize,
+    workers: usize,
+    max_len: Option<usize>,
+    task: &(dyn Fn(usize) + Sync),
+) {
+    let (queues, _) = build_queues(n, workers, max_len);
+    let queues = &queues;
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let previous = CFG.with(|c| c.replace(Some(cfg)));
+                spawn_worker_loop(w, queues, task);
+                CFG.with(|c| *c.borrow_mut() = previous);
+            });
+        }
+        spawn_worker_loop(0, queues, task);
+    });
+}
+
+/// One scoped worker of the spawn-per-region baseline: drain the own deque
+/// front-to-back, then steal whole chunks from the back of the other workers'
+/// deques until everything is empty.
+fn spawn_worker_loop(
+    w: usize,
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    task: &(dyn Fn(usize) + Sync),
+) {
+    let nq = queues.len();
+    loop {
+        let own = lock(&queues[w]).pop_front();
+        let chunk = match own {
+            Some(range) => Some(range),
+            None => (1..nq).find_map(|k| lock(&queues[(w + k) % nq]).pop_back()),
         };
         match chunk {
             Some(range) => {
@@ -212,46 +678,44 @@ fn worker_loop(w: usize, queues: &[Mutex<VecDeque<Range<usize>>>], task: &(impl 
     }
 }
 
-/// Runs `task(i)` for every `i` in `0..n`, using the calling thread plus scoped
-/// worker threads.  Each index is executed exactly once; no ordering is guaranteed
-/// between indices (callers that need ordering must write into indexed slots).
+/// Runs `task(i)` for every `i` in `0..n`.  Each index is executed exactly once; no
+/// ordering is guaranteed between indices (callers that need ordering must write
+/// into indexed slots).
 ///
-/// Workers inherit the caller's effective thread count (mirroring real rayon, where
-/// `install` closures run *inside* the pool): a nested parallel region or
-/// `current_num_threads()` call from task code sees the same pinned count on every
-/// worker, not the process default.
-fn run_indexed(n: usize, task: impl Fn(usize) + Sync) {
-    let configured = current_num_threads();
-    let workers = configured.min(n);
-    if workers <= 1 {
+/// Dispatch: single-participant regions and fine-grained regions below the inline
+/// cutoff (unless marked coarse via `max_len`) run inline on the calling thread;
+/// everything else goes to the installed pool's persistent workers (or the scoped
+/// spawn-per-region baseline if the pool was built that way).
+fn run_region(n: usize, max_len: Option<usize>, task: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let installed = CFG.with(|c| c.borrow().clone());
+    let threads = installed.as_ref().map_or_else(default_threads, |cfg| cfg.threads);
+    let workers = threads.min(n);
+    let cutoff = installed.as_ref().map_or_else(default_inline_cutoff, |cfg| cfg.inline_cutoff);
+    if workers <= 1 || (max_len.is_none() && n < cutoff) {
         for i in 0..n {
             task(i);
         }
         return;
     }
-    let queues = build_queues(n, workers);
-    let queues = &queues;
-    let task = &task;
-    std::thread::scope(|s| {
-        for w in 1..workers {
-            s.spawn(move || {
-                let previous = THREAD_OVERRIDE.with(|o| o.replace(Some(configured)));
-                worker_loop(w, queues, task);
-                THREAD_OVERRIDE.with(|o| o.set(previous));
-            });
-        }
-        worker_loop(0, queues, task);
-    });
+    let cfg = installed.unwrap_or_else(|| global_pool().cfg());
+    if cfg.spawn_per_region {
+        run_region_spawn(&cfg, n, workers, max_len, &task);
+    } else {
+        run_region_persistent(&cfg, n, workers, max_len, &task);
+    }
 }
 
 /// Shared write-once output buffer for `collect`: slot `i` is written by whichever
-/// worker claims index `i`.
+/// participant claims index `i`.
 struct SharedOut<T> {
     ptr: *mut MaybeUninit<T>,
 }
 
 // SAFETY: every index is claimed exactly once by the chunk queues, so no two threads
-// ever write the same slot, and the buffer outlives the scope that writes it.
+// ever write the same slot, and the buffer outlives the region that writes it.
 unsafe impl<T: Send> Sync for SharedOut<T> {}
 
 impl<T> SharedOut<T> {
@@ -268,7 +732,7 @@ fn drive_collect_vec<P: Producer>(p: P) -> Vec<P::Item> {
     let mut storage: Vec<MaybeUninit<P::Item>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
     let out = SharedOut { ptr: storage.as_mut_ptr() };
     let out = &out;
-    run_indexed(n, |i| {
+    run_region(n, p.max_len_hint(), |i| {
         // SAFETY: the driver claims every index in 0..n exactly once, which is both
         // the produce contract and the write-once contract of SharedOut.
         unsafe {
@@ -276,8 +740,9 @@ fn drive_collect_vec<P: Producer>(p: P) -> Vec<P::Item> {
             out.write(i, item);
         }
     });
-    // SAFETY: all n slots were initialized above (run_indexed covers every index; a
-    // worker panic propagates out of run_indexed before reaching this point).
+    // SAFETY: all n slots were initialized above (run_region covers every index; a
+    // task panic propagates out of run_region before reaching this point, dropping
+    // `storage` as plain MaybeUninit slots — leaked items, never UB).
     unsafe {
         let ptr = storage.as_mut_ptr().cast::<P::Item>();
         let len = storage.len();
@@ -303,6 +768,13 @@ pub trait Producer: Sync + Sized {
 
     /// Number of items.
     fn len(&self) -> usize;
+
+    /// Chunk-size cap requested via [`ParallelIterator::with_max_len`], if any.
+    /// A `Some` hint also marks the region as *coarse*, exempting it from the
+    /// inline small-region cutoff.
+    fn max_len_hint(&self) -> Option<usize> {
+        None
+    }
 
     /// Produces the item at index `i`.
     ///
@@ -380,6 +852,10 @@ where
         self.base.len()
     }
 
+    fn max_len_hint(&self) -> Option<usize> {
+        self.base.max_len_hint()
+    }
+
     unsafe fn produce(&self, i: usize) -> R {
         // SAFETY: forwarded under the same once-per-index caller contract.
         (self.f)(unsafe { self.base.produce(i) })
@@ -400,9 +876,41 @@ impl<A: Producer, B: Producer> Producer for Zip<A, B> {
         self.a.len().min(self.b.len())
     }
 
+    fn max_len_hint(&self) -> Option<usize> {
+        match (self.a.max_len_hint(), self.b.max_len_hint()) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(usize::MAX).min(b.unwrap_or(usize::MAX))),
+        }
+    }
+
     unsafe fn produce(&self, i: usize) -> Self::Item {
         // SAFETY: forwarded under the same once-per-index caller contract.
         unsafe { (self.a.produce(i), self.b.produce(i)) }
+    }
+}
+
+/// Parallel iterator produced by [`ParallelIterator::with_max_len`]: caps the chunk
+/// size and marks the region as coarse (exempt from the inline cutoff).
+#[derive(Debug)]
+pub struct MaxLen<I> {
+    base: I,
+    max: usize,
+}
+
+impl<I: Producer> Producer for MaxLen<I> {
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn max_len_hint(&self) -> Option<usize> {
+        Some(self.max.min(self.base.max_len_hint().unwrap_or(usize::MAX)))
+    }
+
+    unsafe fn produce(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded under the same once-per-index caller contract.
+        unsafe { self.base.produce(i) }
     }
 }
 
@@ -457,6 +965,16 @@ pub trait ParallelIterator: Producer {
         Zip { a: self, b: other }
     }
 
+    /// Caps the number of items a worker processes per chunk (mirrors rayon's
+    /// `IndexedParallelIterator::with_max_len`).  In this shim a capped region is
+    /// also treated as *coarse* — few items with heavy per-item work, like one
+    /// subdomain factorization per index — and therefore exempt from the inline
+    /// small-region cutoff: an 8-item region of millisecond-scale items should run
+    /// on the pool even though 8 is far below the cutoff.
+    fn with_max_len(self, max: usize) -> MaxLen<Self> {
+        MaxLen { base: self, max: max.max(1) }
+    }
+
     /// Runs `f` on every item (no ordering guarantee between items).
     fn for_each<F>(self, f: F)
     where
@@ -464,7 +982,7 @@ pub trait ParallelIterator: Producer {
     {
         // SAFETY: the driver claims every index in 0..len exactly once — the produce
         // contract.
-        run_indexed(self.len(), |i| f(unsafe { self.produce(i) }));
+        run_region(self.len(), self.max_len_hint(), |i| f(unsafe { self.produce(i) }));
     }
 
     /// Collects the items, preserving index order.
@@ -589,10 +1107,24 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
 
-    /// Forces a multi-threaded region regardless of the host's core count.
+    /// A persistent pool with the inline cutoff disabled, so even tiny test regions
+    /// genuinely run parallel regardless of the host's core count.
     fn pool(n: usize) -> ThreadPool {
-        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+        ThreadPoolBuilder::new().num_threads(n).inline_cutoff(0).build().unwrap()
+    }
+
+    /// Runs `f` on a helper thread and fails the test instead of hanging the suite
+    /// if it does not finish within `secs`.
+    fn watchdog(secs: u64, what: &str, f: impl FnOnce() + Send + 'static) {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            f();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(secs)).unwrap_or_else(|_| panic!("timed out: {what}"));
     }
 
     #[test]
@@ -641,8 +1173,8 @@ mod tests {
 
     #[test]
     fn work_really_runs_on_multiple_threads() {
-        // Items are slow enough that a lone worker cannot drain the queues before the
-        // scoped workers start, even on a single hardware core.
+        // Items are slow enough that a lone participant cannot drain the queues
+        // before the parked workers wake, even on a single hardware core.
         let v: Vec<usize> = (0..64).collect();
         let ids = Mutex::new(HashSet::new());
         pool(4).install(|| {
@@ -698,7 +1230,7 @@ mod tests {
     fn workers_inherit_the_installed_thread_count() {
         // Real rayon runs install closures inside the pool, so nested regions on any
         // worker see the pinned count; the shim must match, not fall back to the
-        // process default on spawned workers.
+        // process default on pool workers.
         let v: Vec<usize> = (0..64).collect();
         let seen = Mutex::new(HashSet::new());
         pool(3).install(|| {
@@ -743,11 +1275,11 @@ mod tests {
     #[test]
     fn idle_workers_stealing_from_each_other_do_not_deadlock() {
         // Regression test: stealing while still holding the own-queue lock put two
-        // idle workers into a circular wait.  Many short regions with more workers
-        // than chunks make mutual stealing near-certain; the watchdog turns a
-        // deadlock into a test failure instead of a hung suite.
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
+        // idle participants into a circular wait.  Many short regions with more
+        // participants than chunks make mutual stealing near-certain; building and
+        // dropping a fresh pool per round additionally churns lazy spawn + join.
+        // The watchdog turns a deadlock into a test failure instead of a hung suite.
+        watchdog(60, "work-stealing deadlocked: idle workers must not hold their own lock", || {
             for round in 0..200 {
                 let v: Vec<usize> = (0..8).collect();
                 let out: Vec<usize> = pool(8).install(|| {
@@ -760,10 +1292,7 @@ mod tests {
                 });
                 assert_eq!(out.len(), 8);
             }
-            tx.send(()).unwrap();
         });
-        rx.recv_timeout(std::time::Duration::from_secs(60))
-            .expect("work-stealing deadlocked: idle workers must not hold their own lock");
     }
 
     #[test]
@@ -782,5 +1311,188 @@ mod tests {
                 .collect()
         });
         assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn pool_workers_are_persistent_across_regions() {
+        let p = pool(4);
+        assert!(p.worker_thread_ids().is_empty(), "workers must spawn lazily");
+        let v: Vec<usize> = (0..1024).collect();
+        let expected: Vec<usize> = v.iter().map(|&x| x + 1).collect();
+        let out: Vec<usize> = p.install(|| v.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out, expected);
+        let spawned = p.worker_thread_ids();
+        assert_eq!(spawned.len(), 3, "a 4-thread pool spawns 3 workers (caller is the 4th)");
+        // Region work must land on exactly those persistent threads (plus the
+        // caller), and further regions must not spawn replacements.
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(HashSet::new());
+        for _ in 0..10 {
+            p.install(|| {
+                v.par_iter().for_each(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        let allowed: HashSet<_> = spawned.iter().copied().chain([caller]).collect();
+        assert!(
+            seen.lock().unwrap().is_subset(&allowed),
+            "regions must run on the pool's persistent workers, not fresh threads"
+        );
+        assert_eq!(p.worker_thread_ids(), spawned, "worker IDs must be stable across regions");
+    }
+
+    #[test]
+    fn panic_inside_install_leaves_the_pool_usable() {
+        // A panicking region must re-raise on the submitter *and* leave the parked
+        // workers ready: the next region on the same pool must be bit-identical to
+        // a sequential run.
+        let p = pool(4);
+        let v: Vec<f64> = (0..4096).map(|i| i as f64 * 0.25).collect();
+        let expected: Vec<u64> = v.iter().map(|x| (x.sqrt() + x).to_bits()).collect();
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| {
+                    v.par_iter().for_each(|&x| {
+                        if x == 137.0 * 0.25 {
+                            panic!("task panic in round {round}");
+                        }
+                    });
+                });
+            }));
+            assert!(caught.is_err(), "the task panic must reach the submitter");
+            let out: Vec<f64> = p.install(|| v.par_iter().map(|&x| x.sqrt() + x).collect());
+            let bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, expected, "post-panic region must stay bit-identical");
+        }
+    }
+
+    #[test]
+    fn many_tiny_regions_and_park_unpark_churn() {
+        // Stress the submit/park/wake path: thousands of small regions back to
+        // back, with periodic idle gaps so the workers really park in between.
+        watchdog(120, "tiny-region churn deadlocked or leaked", || {
+            let p = pool(4);
+            let v: Vec<usize> = (0..16).collect();
+            for round in 0..2000 {
+                let out: Vec<usize> = p.install(|| v.par_iter().map(|&i| i + round).collect());
+                assert!(out.iter().enumerate().all(|(i, &x)| x == i + round));
+                if round % 256 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            assert_eq!(p.worker_thread_ids().len(), 3);
+        });
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes_and_stays_deterministic() {
+        // More workers than any realistic core count (FETI_THREADS > cores): all of
+        // them contend for 4096 items and the result must still be bit-identical.
+        watchdog(120, "oversubscribed pool hung", || {
+            let v: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
+            let seq: Vec<u64> = v.iter().map(|x| (x * 1.3).cos().to_bits()).collect();
+            let p = pool(32);
+            let out: Vec<f64> = p.install(|| v.par_iter().map(|&x| (x * 1.3).cos()).collect());
+            assert_eq!(p.worker_thread_ids().len(), 31);
+            let bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, seq);
+        });
+    }
+
+    #[test]
+    fn drop_joins_the_parked_workers() {
+        watchdog(30, "ThreadPool::drop must wake and join parked workers promptly", || {
+            let p = pool(4);
+            let v: Vec<usize> = (0..512).collect();
+            let _: Vec<usize> = p.install(|| v.par_iter().map(|&x| x * 2).collect());
+            drop(p);
+        });
+    }
+
+    #[test]
+    fn inline_cutoff_runs_small_regions_on_the_calling_thread() {
+        let p = ThreadPoolBuilder::new().num_threads(4).inline_cutoff(128).build().unwrap();
+        let caller = std::thread::current().id();
+        let v: Vec<usize> = (0..64).collect();
+        let ids = Mutex::new(HashSet::new());
+        p.install(|| {
+            v.par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(*ids.lock().unwrap(), HashSet::from([caller]), "64 < 128 must run inline");
+        assert!(p.worker_thread_ids().is_empty(), "an inline region must not spawn workers");
+        // A coarse-marked region of the same size is exempt from the cutoff.
+        let ids = Mutex::new(HashSet::new());
+        p.install(|| {
+            v.par_iter().with_max_len(1).for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(Duration::from_millis(2));
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "with_max_len marks the region coarse: it must use the pool despite the cutoff"
+        );
+    }
+
+    #[test]
+    fn inline_cutoff_on_and_off_are_bit_identical() {
+        let v: Vec<f64> = (0..200).map(|i| i as f64 * 0.7).collect();
+        let always_inline =
+            ThreadPoolBuilder::new().num_threads(4).inline_cutoff(usize::MAX).build().unwrap();
+        let never_inline = pool(4);
+        let run = |p: &ThreadPool| -> Vec<u64> {
+            p.install(|| {
+                v.par_iter().map(|&x| ((x * 1.9).sin() / (x + 1.0)).to_bits()).collect::<Vec<u64>>()
+            })
+        };
+        assert_eq!(run(&always_inline), run(&never_inline), "cutoff must not change any bit");
+    }
+
+    #[test]
+    fn spawn_per_region_baseline_matches_the_persistent_pool() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.3).collect();
+        let spawn = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .inline_cutoff(0)
+            .spawn_per_region(true)
+            .build()
+            .unwrap();
+        let persistent = pool(4);
+        let run = |p: &ThreadPool| -> Vec<u64> {
+            p.install(|| {
+                v.par_iter().map(|&x| ((x * 2.1).cos() + x / 7.0).to_bits()).collect::<Vec<u64>>()
+            })
+        };
+        assert_eq!(run(&spawn), run(&persistent), "the two drivers must agree bit for bit");
+        assert!(
+            spawn.worker_thread_ids().is_empty(),
+            "spawn-per-region mode must not start persistent workers"
+        );
+    }
+
+    #[test]
+    fn nested_regions_on_the_same_pool_do_not_deadlock() {
+        // A pool worker submitting a nested region to its own pool self-drains its
+        // deques, so progress never depends on another worker being free.
+        watchdog(60, "nested region on the same pool deadlocked", || {
+            let p = pool(4);
+            let outer: Vec<usize> = (0..8).collect();
+            let result: Vec<Vec<usize>> = p.install(|| {
+                outer
+                    .par_iter()
+                    .with_max_len(1)
+                    .map(|&i| {
+                        let inner: Vec<usize> = (0..512).collect();
+                        inner.par_iter().map(|&j| i * 1000 + j).collect::<Vec<usize>>()
+                    })
+                    .collect()
+            });
+            for (i, row) in result.iter().enumerate() {
+                assert!(row.iter().enumerate().all(|(j, &x)| x == i * 1000 + j));
+            }
+        });
     }
 }

@@ -286,6 +286,131 @@ fn preprocessing_wall_time_speeds_up_with_threads() {
     );
 }
 
+/// Nested `install` on persistent pools: an inner pool entered from inside an outer
+/// pool's scope must take over the ambient configuration for its extent and restore
+/// the outer one afterwards, and a solve computed under the nesting must be
+/// bit-for-bit identical to the same solve on a plain 4-thread pool.
+#[test]
+fn nested_install_on_persistent_pools_is_bit_identical() {
+    let problem =
+        std::sync::Arc::new(DecomposedProblem::build(&DecompositionSpec::small_heat_2d()));
+    let solve = || {
+        let mut solver = TotalFetiSolver::new(
+            std::sync::Arc::clone(&problem),
+            DualOperatorApproach::ExplicitCholmod,
+            None,
+            PcpgOptions::default(),
+        )
+        .unwrap();
+        solver.solve().unwrap()
+    };
+    let plain = with_threads(4, solve);
+    let outer = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let inner = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let nested = outer.install(|| {
+        assert_eq!(rayon::current_num_threads(), 2, "outer install must be ambient");
+        let s = inner.install(|| {
+            assert_eq!(rayon::current_num_threads(), 4, "inner install must override");
+            solve()
+        });
+        assert_eq!(rayon::current_num_threads(), 2, "outer configuration must be restored");
+        s
+    });
+    assert_eq!(plain.iterations, nested.iterations, "nested install: iteration counts");
+    let approach = DualOperatorApproach::ExplicitCholmod;
+    assert_bits_eq("small heat 2D", approach, "nested lambda", &plain.lambda, &nested.lambda);
+    assert_bits_eq(
+        "small heat 2D",
+        approach,
+        "nested global solution",
+        &plain.global_solution,
+        &nested.global_solution,
+    );
+}
+
+/// The small-region inline cutoff is a scheduling decision, never a numerical one:
+/// for **all eleven** approaches, solving with the cutoff disabled (every region goes
+/// through the persistent pool) and with the cutoff forced to swallow every
+/// unannotated region must produce bit-identical solutions and iteration counts.
+/// The subdomain loops themselves are `with_max_len(1)`-annotated and therefore
+/// exempt either way — this pins that the annotation sweep missed nothing that
+/// matters numerically.
+#[test]
+fn inline_cutoff_on_and_off_solve_bit_identically() {
+    let problem =
+        std::sync::Arc::new(DecomposedProblem::build(&DecompositionSpec::small_heat_2d()));
+    for approach in DualOperatorApproach::all() {
+        let run = |cutoff: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .inline_cutoff(cutoff)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut solver = TotalFetiSolver::new(
+                        std::sync::Arc::clone(&problem),
+                        approach,
+                        None,
+                        PcpgOptions::default(),
+                    )
+                    .unwrap();
+                    solver.solve().unwrap()
+                })
+        };
+        let off = run(0);
+        let on = run(usize::MAX);
+        assert_eq!(off.iterations, on.iterations, "{approach:?}: cutoff iteration counts");
+        assert_bits_eq("small heat 2D", approach, "cutoff lambda", &off.lambda, &on.lambda);
+        assert_bits_eq(
+            "small heat 2D",
+            approach,
+            "cutoff global solution",
+            &off.global_solution,
+            &on.global_solution,
+        );
+        assert_eq!(
+            off.final_residual.to_bits(),
+            on.final_residual.to_bits(),
+            "{approach:?}: cutoff final residual"
+        );
+    }
+}
+
+/// An unannotated fine-grained region below the cutoff runs inline on the calling
+/// thread (no pool round-trip), yet produces exactly the bits of the pooled
+/// execution of the same region.
+#[test]
+fn fine_grained_regions_below_the_cutoff_stay_on_the_calling_thread() {
+    use rayon::prelude::*;
+    let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.29).sin() - 0.3).collect();
+    let run = |cutoff: usize| -> (Vec<u64>, Vec<std::thread::ThreadId>) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .inline_cutoff(cutoff)
+            .build()
+            .unwrap()
+            .install(|| {
+                let pairs: Vec<(f64, std::thread::ThreadId)> = v
+                    .par_iter()
+                    .map(|&x| (x.mul_add(3.0, 1.0).sqrt().abs(), std::thread::current().id()))
+                    .collect();
+                let bits = pairs.iter().map(|(y, _)| y.to_bits()).collect();
+                let mut threads: Vec<_> = pairs.into_iter().map(|(_, id)| id).collect();
+                threads.dedup();
+                (bits, threads)
+            })
+    };
+    let caller = std::thread::current().id();
+    let (inline_bits, inline_threads) = run(usize::MAX);
+    let (pooled_bits, _) = run(0);
+    assert_eq!(
+        inline_threads,
+        vec![caller],
+        "a region below the cutoff must run entirely on the calling thread"
+    );
+    assert_eq!(inline_bits, pooled_bits, "inlined and pooled regions must agree bit-for-bit");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
