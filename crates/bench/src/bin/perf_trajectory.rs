@@ -19,6 +19,11 @@
 //! * Every scale enforces a ≥ 5x region-entry latency advantage of the persistent
 //!   parked worker pool over the retained spawn-per-region baseline driver, and
 //!   that `apply` under the persistent pool does not regress (the `pool` section).
+//! * Every scale enforces the `feti-trace` cost gates on the apply microbench
+//!   (the `observability` section): the disabled-path overhead must stay ≤ 2%
+//!   (analytic: trace-call sites per apply times the measured per-call cost of a
+//!   disabled span, over the apply time) and the enabled-path overhead ≤ 10%
+//!   (the measured enabled/disabled apply-time ratio).
 
 use feti_bench::json::{parse, validate_perf_trajectory, Value};
 use feti_bench::{build_problem, BenchScale};
@@ -34,7 +39,7 @@ use std::time::Instant;
 const PINNED_THREADS: usize = 4;
 
 /// The issue number this trajectory belongs to (names the output file).
-const ISSUE: usize = 9;
+const ISSUE: usize = 10;
 
 /// Floor applied to near-zero cached times before forming a speedup ratio: a warm
 /// cache checkout can measure as exactly zero at the clock's resolution, and JSON
@@ -480,6 +485,107 @@ fn measure_pool(problem: &Arc<feti_decompose::DecomposedProblem>) -> (Value, f64
     (section, entry_speedup, apply_speedup)
 }
 
+/// Applications per timed call of the tracing-overhead microbench (amortizes the
+/// clock resolution and any per-call jitter over many applies).
+const OBS_APPLIES_PER_CALL: usize = 32;
+
+/// Interleaved disabled/enabled measurement rounds of the tracing-overhead
+/// microbench (each round times one batch per side back to back).
+const OBS_ROUNDS: usize = 5;
+
+/// Disabled-span probe calls per timed call: enough that the per-call cost of the
+/// relaxed-atomic early-out is resolvable against the clock.
+const OBS_PROBE_CALLS: usize = 1_000_000;
+
+/// Cost of the `feti-trace` layer on the apply microbench.
+///
+/// Two numbers, two gates:
+///
+/// * `enabled_overhead` — the measured enabled/disabled apply-time ratio minus one
+///   (clamped at zero; both sides carry noise).  The two sides are timed as
+///   *interleaved* [`OBS_APPLIES_PER_CALL`]-apply batches (disabled, enabled,
+///   disabled, enabled, ...) with the best batch kept per side, so a sustained
+///   slow window of the machine hits both sides instead of skewing the ratio.
+/// * `disabled_overhead` — analytic, so it stays meaningful even when the real
+///   disabled cost (a relaxed atomic load per trace-call site) is far below timing
+///   noise: the number of trace events one apply emits when enabled (every one of
+///   those sites takes the early-out branch when disabled) times the measured
+///   per-call cost of a disabled [`feti_trace::span`], over the disabled apply time.
+///
+/// Returns the JSON section plus the two overheads the gates check.
+fn measure_observability(problem: &Arc<feti_decompose::DecomposedProblem>) -> (Value, f64, f64) {
+    assert!(!feti_trace::enabled(), "tracing must start disabled for the baseline");
+    let mut op = build_dual_operator(DualOperatorApproach::ExplicitCholmod, problem, None)
+        .expect("benchmark problem fits the device");
+    op.preprocess().expect("k_reg is SPD");
+    let p: Vec<f64> = (0..problem.num_lambdas).map(|i| ((i % 17) as f64) * 0.1 - 0.8).collect();
+    let mut q = vec![0.0; problem.num_lambdas];
+
+    let mut batch = |op: &mut Box<dyn feti_core::DualOperator>| {
+        let start = Instant::now();
+        for _ in 0..OBS_APPLIES_PER_CALL {
+            op.apply(&p, &mut q);
+        }
+        start.elapsed().as_secs_f64() / OBS_APPLIES_PER_CALL as f64
+    };
+    // Warm up both sides, then alternate timed batches and keep the best per side.
+    batch(&mut op);
+    feti_trace::set_enabled(true);
+    batch(&mut op);
+    let mut apply_disabled_s = f64::INFINITY;
+    let mut apply_enabled_s = f64::INFINITY;
+    for _ in 0..OBS_ROUNDS {
+        feti_trace::set_enabled(false);
+        apply_disabled_s = apply_disabled_s.min(batch(&mut op));
+        feti_trace::set_enabled(true);
+        apply_enabled_s = apply_enabled_s.min(batch(&mut op));
+    }
+
+    // Count the trace events one apply emits: spans, device ops, counter increments
+    // and histogram records.  Each corresponds to one call site that takes the
+    // early-out branch when tracing is disabled.
+    feti_trace::clear();
+    op.apply(&p, &mut q);
+    let report = feti_trace::take_report();
+    feti_trace::set_enabled(false);
+    let events_per_apply = (report.spans.len()
+        + report.device_ops.len()
+        + report.counters.iter().map(|&(_, v)| v as usize).sum::<usize>()
+        + report.histograms.iter().map(|(_, h)| h.count as usize).sum::<usize>())
+        as f64;
+
+    // Per-call cost of a disabled span: the guard is constructed and dropped but the
+    // name closure never runs and nothing is recorded.  black_box keeps the
+    // optimizer from hoisting the (relaxed, data-independent) enabled check.
+    let disabled_probe_s = best_of_three(|| {
+        for _ in 0..OBS_PROBE_CALLS {
+            let guard = feti_trace::span(|| "probe");
+            std::hint::black_box(&guard);
+        }
+    }) / OBS_PROBE_CALLS as f64;
+
+    let enabled_overhead = (apply_enabled_s / apply_disabled_s.max(SPEEDUP_FLOOR_S) - 1.0).max(0.0);
+    let disabled_overhead =
+        events_per_apply * disabled_probe_s / apply_disabled_s.max(SPEEDUP_FLOOR_S);
+    println!(
+        "observability: apply disabled {apply_disabled_s:.9}s vs enabled {apply_enabled_s:.9}s \
+         ({:.2}% overhead); {events_per_apply} events/apply at {disabled_probe_s:.2e}s per \
+         disabled span ({:.4}% disabled overhead)",
+        enabled_overhead * 100.0,
+        disabled_overhead * 100.0
+    );
+    let section = Value::obj(vec![
+        ("applies_per_call", Value::Num(OBS_APPLIES_PER_CALL as f64)),
+        ("apply_disabled_s", Value::Num(apply_disabled_s)),
+        ("apply_enabled_s", Value::Num(apply_enabled_s)),
+        ("enabled_overhead", Value::Num(enabled_overhead)),
+        ("events_per_apply", Value::Num(events_per_apply)),
+        ("disabled_probe_s", Value::Num(disabled_probe_s)),
+        ("disabled_overhead", Value::Num(disabled_overhead)),
+    ]);
+    (section, disabled_overhead, enabled_overhead)
+}
+
 fn fail(message: &str) -> ! {
     eprintln!("perf_trajectory: {message}");
     std::process::exit(1);
@@ -512,15 +618,21 @@ fn main() {
         problem.num_lambdas
     );
 
-    let ((kernels, speedups), factorization, phases, (sparse_assembly, sparse_speedup)) = pool
-        .install(|| {
-            (
-                measure_kernels(scale),
-                measure_factorization(&problem),
-                measure_phases(&problem),
-                measure_sparse_assembly(scale, &problem),
-            )
-        });
+    let (
+        (kernels, speedups),
+        factorization,
+        phases,
+        (sparse_assembly, sparse_speedup),
+        (observability, disabled_overhead, enabled_overhead),
+    ) = pool.install(|| {
+        (
+            measure_kernels(scale),
+            measure_factorization(&problem),
+            measure_phases(&problem),
+            measure_sparse_assembly(scale, &problem),
+            measure_observability(&problem),
+        )
+    });
 
     // The service spawns its own worker threads (which in turn use the process-wide
     // pool), so it is measured outside the pinned pool's install scope.
@@ -553,9 +665,10 @@ fn main() {
         ("factorization", factorization),
         ("service", service_section),
         ("pool", pool_section),
+        ("observability", observability),
     ]);
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "10.json");
     if let Err(e) = std::fs::write(path, doc.to_json()) {
         fail(&format!("cannot write {path}: {e}"));
     }
@@ -626,6 +739,23 @@ fn main() {
         fail(&format!(
             "apply under the persistent pool regressed: {pool_apply_speedup:.2}x vs the \
              spawn-per-region baseline"
+        ));
+    }
+
+    // Observability gates: tracing must be free when off and cheap when on, at
+    // every scale.  The disabled gate is analytic (call sites times the measured
+    // cost of one disabled span), so it holds even when the real cost is below
+    // timing noise; the enabled gate is the measured apply-time ratio.
+    if disabled_overhead > 0.02 {
+        fail(&format!(
+            "disabled-tracing overhead {:.3}% on the apply microbench exceeds the 2% gate",
+            disabled_overhead * 100.0
+        ));
+    }
+    if enabled_overhead > 0.10 {
+        fail(&format!(
+            "enabled-tracing overhead {:.2}% on the apply microbench exceeds the 10% gate",
+            enabled_overhead * 100.0
         ));
     }
 

@@ -8,6 +8,12 @@
 //! exhaustive sweep runs [`DualOperatorApproach::all`], so the sparsity-aware
 //! explicit family (`expl sparse legacy/modern`) is enumerated and measured alongside
 //! the original nine approaches.
+//!
+//! The binary also exercises the `feti-trace` planner-decision records: tracing is
+//! enabled for the run, every `plan()` call emits its ranked candidate estimates,
+//! the exhaustive measurements are stamped back onto the matching candidates, and a
+//! plan-accuracy report (predicted vs measured, per ranked candidate) is printed at
+//! the end.
 
 use feti_bench::{build_problem, fmt_ms, measure_approach, print_header, BenchScale, Measurement};
 use feti_core::planner::Planner;
@@ -83,6 +89,28 @@ fn run_dim(dim: Dim, scale: BenchScale, violations: &mut usize) {
             let plan = planner.plan(iters);
             let pick = plan.best();
             let pick_measured = measure_robust(&problem, pick.approach, Some(pick.params));
+            // Stamp the exhaustive measurements onto the plan's trace record so the
+            // accuracy report covers every ranked candidate, then overwrite the
+            // chosen rank with the re-measurement that used its exact parameters.
+            if let Some(id) = plan.trace_id {
+                for (rank, candidate) in plan.candidates.iter().enumerate() {
+                    if let Some(m) = measurements.iter().find(|m| m.approach == candidate.approach)
+                    {
+                        feti_trace::stamp_plan(
+                            id,
+                            rank,
+                            Some(m.preprocessing.total_seconds),
+                            Some(m.apply.total_seconds),
+                        );
+                    }
+                }
+                feti_trace::stamp_plan(
+                    id,
+                    plan.chosen_rank(),
+                    Some(pick_measured.preprocessing.total_seconds),
+                    Some(pick_measured.apply.total_seconds),
+                );
+            }
             let (best, best_ms) = measured_best(&measurements, iters);
             let pick_ms = pick_measured.total_ms_per_subdomain(iters);
             let est_ms = pick.total_seconds(iters) * 1e3 / problem.subdomains.len() as f64;
@@ -105,13 +133,63 @@ fn run_dim(dim: Dim, scale: BenchScale, violations: &mut usize) {
     }
 }
 
+/// Prints the planner-decision records accumulated over the run: for every plan,
+/// every ranked candidate's predicted preprocessing/apply seconds next to the
+/// measured ones (the chosen rank is starred), with the predicted/measured apply
+/// ratio as the accuracy figure.
+fn print_plan_accuracy() {
+    let plans = feti_trace::plan_records();
+    if plans.is_empty() {
+        return;
+    }
+    print_header(
+        "Plan accuracy — predicted vs measured per ranked candidate",
+        &[
+            "plan",
+            "iters",
+            "rank",
+            "approach",
+            "pred pre ms",
+            "meas pre ms",
+            "pred apply ms",
+            "meas apply ms",
+            "apply pred/meas",
+        ],
+    );
+    let fmt_opt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| fmt_ms(v * 1e3));
+    for plan in &plans {
+        for c in &plan.candidates {
+            let star = if c.rank == plan.chosen_rank { "*" } else { "" };
+            let accuracy = match c.measured_apply_s {
+                Some(m) if m > 0.0 => format!("{:.3}", c.predicted_apply_s / m),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{}\t{}\t{}{star}\t{}\t{}\t{}\t{}\t{}\t{accuracy}",
+                plan.id,
+                plan.expected_iterations,
+                c.rank,
+                c.approach,
+                fmt_ms(c.predicted_preprocessing_s * 1e3),
+                fmt_opt(c.measured_preprocessing_s),
+                fmt_ms(c.predicted_apply_s * 1e3),
+                fmt_opt(c.measured_apply_s),
+            );
+        }
+    }
+}
+
 fn main() {
     feti_bench::print_run_config();
     let scale = BenchScale::from_env();
     println!("Planner validation — a-priori pick vs exhaustive measurement (scale {scale:?})");
+    // Tracing feeds the planner-decision records behind the accuracy report; the
+    // span/metric side effects ride along and are simply dropped at exit.
+    feti_trace::set_enabled(true);
     let mut violations = 0usize;
     run_dim(Dim::Two, scale, &mut violations);
     run_dim(Dim::Three, scale, &mut violations);
+    print_plan_accuracy();
     if violations > 0 {
         println!("\n{violations} planned pick(s) exceeded 2x the measured optimum");
         std::process::exit(1);

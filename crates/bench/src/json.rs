@@ -469,6 +469,40 @@ pub fn validate_perf_trajectory(doc: &Value) -> Result<(), String> {
             ));
         }
     }
+
+    // Observability: the tracing layer's cost on the apply microbench.  The enabled
+    // overhead is the measured enabled/disabled ratio minus one (clamped at zero:
+    // both times carry noise and the difference can measure slightly negative); the
+    // disabled overhead is analytic — events per apply times the measured per-call
+    // cost of a disabled span, over the disabled apply time — so it stays
+    // noise-immune even at quick scale.
+    let obs = doc.get("observability").ok_or_else(|| "missing 'observability'".to_string())?;
+    let applies = require_num(obs, "observability", "applies_per_call")?;
+    if applies < 1.0 || applies.fract() != 0.0 {
+        return Err(format!(
+            "observability.applies_per_call: must be a positive integer, got {applies}"
+        ));
+    }
+    let disabled = require_nonneg(obs, "observability", "apply_disabled_s")?;
+    let enabled = require_nonneg(obs, "observability", "apply_enabled_s")?;
+    let events = require_nonneg(obs, "observability", "events_per_apply")?;
+    let probe = require_nonneg(obs, "observability", "disabled_probe_s")?;
+    let enabled_overhead = require_nonneg(obs, "observability", "enabled_overhead")?;
+    let expected = (enabled / disabled.max(1e-9) - 1.0).max(0.0);
+    if (enabled_overhead - expected).abs() > 1e-9 * enabled_overhead.max(1.0) {
+        return Err(format!(
+            "observability: enabled_overhead {enabled_overhead} inconsistent with \
+             {enabled}/{disabled} - 1"
+        ));
+    }
+    let disabled_overhead = require_nonneg(obs, "observability", "disabled_overhead")?;
+    let expected = events * probe / disabled.max(1e-9);
+    if (disabled_overhead - expected).abs() > 1e-9 * disabled_overhead.max(1.0) {
+        return Err(format!(
+            "observability: disabled_overhead {disabled_overhead} inconsistent with \
+             {events} * {probe} / {disabled}"
+        ));
+    }
     Ok(())
 }
 
@@ -610,6 +644,18 @@ mod tests {
                     ),
                 ]),
             ),
+            (
+                "observability",
+                Value::obj(vec![
+                    ("applies_per_call", Value::Num(32.0)),
+                    ("apply_disabled_s", Value::Num(1e-4)),
+                    ("apply_enabled_s", Value::Num(1.02e-4)),
+                    ("enabled_overhead", Value::Num(1.02e-4 / 1e-4 - 1.0)),
+                    ("events_per_apply", Value::Num(2.0)),
+                    ("disabled_probe_s", Value::Num(5e-9)),
+                    ("disabled_overhead", Value::Num(2.0 * 5e-9 / 1e-4)),
+                ]),
+            ),
         ])
     }
 
@@ -743,6 +789,41 @@ mod tests {
                 pool.iter_mut().for_each(|(k, v)| {
                     if k == "threads" {
                         *v = Value::Num(1.0);
+                    }
+                });
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Missing observability section.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "observability");
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Inconsistent analytic disabled overhead.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(obs))) = pairs.iter_mut().find(|(k, _)| k == "observability")
+            {
+                obs.iter_mut().for_each(|(k, v)| {
+                    if k == "disabled_overhead" {
+                        *v = Value::Num(0.5);
+                    }
+                });
+            }
+        }
+        assert!(validate_perf_trajectory(&doc).is_err());
+
+        // Inconsistent enabled overhead.
+        let mut doc = minimal_valid();
+        if let Value::Obj(pairs) = &mut doc {
+            if let Some((_, Value::Obj(obs))) = pairs.iter_mut().find(|(k, _)| k == "observability")
+            {
+                obs.iter_mut().for_each(|(k, v)| {
+                    if k == "enabled_overhead" {
+                        *v = Value::Num(3.0);
                     }
                 });
             }

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
 
 use feti_core::{build_dual_operator, DualOperatorApproach, ExplicitAssemblyParams, TimeBreakdown};

@@ -101,13 +101,17 @@ impl DualOperator for ImplicitCpuOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let _span = feti_trace::span(|| "preprocess");
+        let indices: Vec<usize> = (0..self.blocks.len()).collect();
         let region = Instant::now();
         let results: Vec<(CpuFactor, f64)> = self
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .zip(indices.par_iter())
             .with_max_len(1)
-            .map(|(block, symbolic)| {
+            .map(|((block, symbolic), &sd)| {
+                let _span = feti_trace::span(|| format!("factorize[sd={sd}]"));
                 let start = Instant::now();
                 let factor = match symbolic {
                     CpuSymbolic::Mkl(s) => CpuFactor::Mkl(s.factorize(&block.k_reg)?),
@@ -130,6 +134,7 @@ impl DualOperator for ImplicitCpuOperator {
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
         assert_eq!(p.len(), self.num_lambdas);
         assert_eq!(q.len(), self.num_lambdas);
+        let _span = feti_trace::span(|| "apply");
         q.iter_mut().for_each(|v| *v = 0.0);
         let region = Instant::now();
         let locals: Vec<(Vec<f64>, f64)> = self
@@ -157,6 +162,7 @@ impl DualOperator for ImplicitCpuOperator {
         }
         let breakdown = scheduler.finish_measured(wall);
         self.stats.record_apply(breakdown, 1);
+        super::trace_apply_metric(self.approach, breakdown, 1);
         breakdown
     }
 
@@ -246,14 +252,18 @@ impl DualOperator for ExplicitCpuOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let _span = feti_trace::span(|| "preprocess");
         let approach = self.approach;
+        let indices: Vec<usize> = (0..self.blocks.len()).collect();
         let region = Instant::now();
         let results: Vec<(DenseMatrix, f64)> = self
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .zip(indices.par_iter())
             .with_max_len(1)
-            .map(|(block, symbolic)| {
+            .map(|((block, symbolic), &sd)| {
+                let _span = feti_trace::span(|| format!("factorize[sd={sd}]"));
                 let start = Instant::now();
                 let f = Self::assemble_local(approach, symbolic, block)?;
                 Ok((f, start.elapsed().as_secs_f64()))
@@ -273,6 +283,7 @@ impl DualOperator for ExplicitCpuOperator {
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
         assert_eq!(p.len(), self.num_lambdas);
         assert_eq!(q.len(), self.num_lambdas);
+        let _span = feti_trace::span(|| "apply");
         q.iter_mut().for_each(|v| *v = 0.0);
         let region = Instant::now();
         let locals: Vec<(Vec<f64>, f64)> = self
@@ -297,6 +308,7 @@ impl DualOperator for ExplicitCpuOperator {
         }
         let breakdown = scheduler.finish_measured(wall);
         self.stats.record_apply(breakdown, 1);
+        super::trace_apply_metric(self.approach, breakdown, 1);
         breakdown
     }
 
@@ -304,6 +316,7 @@ impl DualOperator for ExplicitCpuOperator {
         assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
         assert_eq!(q.nrows(), self.num_lambdas, "batch row count must match dual space");
         assert_eq!(p.ncols(), q.ncols(), "input and output batches must have equal width");
+        let _span = feti_trace::span(|| "apply");
         let k = p.ncols();
         q.fill(0.0);
         let region = Instant::now();
@@ -341,6 +354,7 @@ impl DualOperator for ExplicitCpuOperator {
         }
         let breakdown = scheduler.finish_measured(wall);
         self.stats.record_apply(breakdown, k);
+        super::trace_apply_metric(self.approach, breakdown, k);
         breakdown
     }
 

@@ -109,14 +109,18 @@ impl DualOperator for ImplicitGpuOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let _span = feti_trace::span(|| "preprocess");
         let spec = *self.device.spec();
+        let indices: Vec<usize> = (0..self.blocks.len()).collect();
         let region = Instant::now();
         let results: Vec<(DeviceFactor, f64, Vec<GpuCost>)> = self
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .zip(indices.par_iter())
             .with_max_len(1)
-            .map(|(block, symbolic)| {
+            .map(|((block, symbolic), &sd)| {
+                let _span = feti_trace::span(|| format!("factorize[sd={sd}]"));
                 let start = Instant::now();
                 let factor: CholmodFactor = symbolic.factorize(&block.k_reg)?;
                 let (l_csc, perm) = factor.extract_factor();
@@ -139,6 +143,7 @@ impl DualOperator for ImplicitGpuOperator {
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
         assert_eq!(p.len(), self.num_lambdas);
         assert_eq!(q.len(), self.num_lambdas);
+        let _span = feti_trace::span(|| "apply");
         q.iter_mut().for_each(|v| *v = 0.0);
         let spec = *self.device.spec();
         let generation = self.generation;
@@ -171,6 +176,7 @@ impl DualOperator for ImplicitGpuOperator {
         }
         let breakdown = scheduler.finish();
         self.stats.record_apply(breakdown, 1);
+        super::trace_apply_metric(self.approach, breakdown, 1);
         breakdown
     }
 
@@ -178,6 +184,7 @@ impl DualOperator for ImplicitGpuOperator {
         assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
         assert_eq!(q.nrows(), self.num_lambdas, "batch row count must match dual space");
         assert_eq!(p.ncols(), q.ncols(), "batch column mismatch");
+        let _span = feti_trace::span(|| "apply");
         let k = p.ncols();
         q.fill(0.0);
         let spec = *self.device.spec();
@@ -226,6 +233,7 @@ impl DualOperator for ImplicitGpuOperator {
         }
         let breakdown = scheduler.finish();
         self.stats.record_apply(breakdown, k);
+        super::trace_apply_metric(self.approach, breakdown, k);
         breakdown
     }
 
@@ -561,6 +569,7 @@ impl DualOperator for ExplicitGpuOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let _span = feti_trace::span(|| "preprocess");
         let device = &self.device;
         let generation = self.generation;
         let params = self.params;
@@ -569,6 +578,7 @@ impl DualOperator for ExplicitGpuOperator {
             DualOperatorApproach::ExplicitSparseGpuLegacy
                 | DualOperatorApproach::ExplicitSparseGpuModern
         );
+        let indices: Vec<usize> = (0..self.blocks.len()).collect();
         // The workers race their temporary allocations against the shared pool here,
         // exactly as the paper's §IV-A describes: a worker whose request does not fit
         // blocks until another worker's RAII guard drops.
@@ -576,8 +586,10 @@ impl DualOperator for ExplicitGpuOperator {
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .zip(indices.par_iter())
             .with_max_len(1)
-            .map(|(block, symbolic)| {
+            .map(|((block, symbolic), &sd)| {
+                let _span = feti_trace::span(|| format!("factorize[sd={sd}]"));
                 // CPU part: numeric factorization and factor extraction.
                 let start = Instant::now();
                 let factor = symbolic.factorize(&block.k_reg)?;
@@ -610,14 +622,17 @@ impl DualOperator for ExplicitGpuOperator {
     }
 
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
+        let _span = feti_trace::span(|| "apply");
         let breakdown =
             apply_explicit_on_gpu(&self.device, &self.params, &self.blocks, &self.f_local, p, q);
         self.stats.record_apply(breakdown, 1);
+        super::trace_apply_metric(self.approach, breakdown, 1);
         breakdown
     }
 
     fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
         assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
+        let _span = feti_trace::span(|| "apply");
         let breakdown = apply_many_explicit_on_gpu(
             &self.device,
             &self.params,
@@ -627,6 +642,7 @@ impl DualOperator for ExplicitGpuOperator {
             q,
         );
         self.stats.record_apply(breakdown, p.ncols());
+        super::trace_apply_metric(self.approach, breakdown, p.ncols());
         breakdown
     }
 
@@ -844,14 +860,18 @@ impl DualOperator for HybridOperator {
     }
 
     fn preprocess(&mut self) -> crate::Result<TimeBreakdown> {
+        let _span = feti_trace::span(|| "preprocess");
         let spec = *self.device.spec();
         let region = Instant::now();
+        let indices: Vec<usize> = (0..self.blocks.len()).collect();
         let results: Vec<(DenseMatrix, f64, Vec<GpuCost>)> = self
             .blocks
             .par_iter()
             .zip(self.symbolic.par_iter())
+            .zip(indices.par_iter())
             .with_max_len(1)
-            .map(|(block, symbolic)| {
+            .map(|((block, symbolic), &sd)| {
+                let _span = feti_trace::span(|| format!("factorize[sd={sd}]"));
                 let start = Instant::now();
                 let factor = symbolic.factorize(&block.k_reg)?;
                 let f = factor.schur_complement(&block.b);
@@ -873,14 +893,17 @@ impl DualOperator for HybridOperator {
     }
 
     fn apply(&mut self, p: &[f64], q: &mut [f64]) -> TimeBreakdown {
+        let _span = feti_trace::span(|| "apply");
         let breakdown =
             apply_explicit_on_gpu(&self.device, &self.params, &self.blocks, &self.f_local, p, q);
         self.stats.record_apply(breakdown, 1);
+        super::trace_apply_metric(DualOperatorApproach::ExplicitHybrid, breakdown, 1);
         breakdown
     }
 
     fn apply_many(&mut self, p: &DenseMatrix, q: &mut DenseMatrix) -> TimeBreakdown {
         assert_eq!(p.nrows(), self.num_lambdas, "batch row count must match dual space");
+        let _span = feti_trace::span(|| "apply");
         let breakdown = apply_many_explicit_on_gpu(
             &self.device,
             &self.params,
@@ -890,6 +913,7 @@ impl DualOperator for HybridOperator {
             q,
         );
         self.stats.record_apply(breakdown, p.ncols());
+        super::trace_apply_metric(DualOperatorApproach::ExplicitHybrid, breakdown, p.ncols());
         breakdown
     }
 

@@ -21,8 +21,16 @@ use std::sync::Mutex;
 /// Accumulated statistics of a dual operator over a run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DualOperatorStats {
-    /// Time spent in the last `preprocess` call.
+    /// Time spent in the **first** `preprocess` call (the cold preprocessing the
+    /// planner prices).
     pub preprocessing: TimeBreakdown,
+    /// Accumulated time of every preprocessing call after the first (numeric
+    /// re-factorizations in multi-step runs).  Kept separate so the warm path
+    /// (`ensure_preprocessed`, cached service solvers) cannot silently overwrite
+    /// the cold cost.
+    pub repreprocessing: TimeBreakdown,
+    /// Number of `preprocess` calls recorded (cold + re-preprocessing).
+    pub preprocess_count: usize,
     /// Sum of all `apply` calls since construction.
     pub total_apply: TimeBreakdown,
     /// Number of `apply` calls.
@@ -38,6 +46,8 @@ pub struct DualOperatorStats {
 #[derive(Debug, Default)]
 pub struct SharedStats {
     preprocessing: Mutex<TimeBreakdown>,
+    repreprocessing: Mutex<TimeBreakdown>,
+    preprocess_count: AtomicUsize,
     total_apply: Mutex<TimeBreakdown>,
     apply_count: AtomicUsize,
 }
@@ -49,9 +59,17 @@ impl SharedStats {
         m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Replaces the preprocessing breakdown (the last `preprocess` call wins).
+    /// Records one preprocessing phase: the first call sets the cold
+    /// [`DualOperatorStats::preprocessing`] breakdown, every later call (numeric
+    /// re-factorization of a warm operator) accumulates into
+    /// [`DualOperatorStats::repreprocessing`] instead of overwriting the cold cost.
     pub fn record_preprocessing(&self, t: TimeBreakdown) {
-        *Self::locked(&self.preprocessing) = t;
+        if self.preprocess_count.fetch_add(1, Ordering::Relaxed) == 0 {
+            *Self::locked(&self.preprocessing) = t;
+        } else {
+            let mut re = Self::locked(&self.repreprocessing);
+            *re = re.then(t);
+        }
     }
 
     /// Accumulates one application phase covering `columns` right-hand sides.
@@ -67,9 +85,22 @@ impl SharedStats {
     pub fn snapshot(&self) -> DualOperatorStats {
         DualOperatorStats {
             preprocessing: *Self::locked(&self.preprocessing),
+            repreprocessing: *Self::locked(&self.repreprocessing),
+            preprocess_count: self.preprocess_count.load(Ordering::Relaxed),
             total_apply: *Self::locked(&self.total_apply),
             apply_count: self.apply_count.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Records the per-column application seconds of one phase into the per-approach
+/// histogram (`apply_seconds.<label>`); no-op while tracing is disabled.
+pub(crate) fn trace_apply_metric(approach: DualOperatorApproach, t: TimeBreakdown, columns: usize) {
+    if feti_trace::enabled() {
+        feti_trace::histogram_record(
+            &format!("apply_seconds.{}", approach.label()),
+            t.total_seconds / columns.max(1) as f64,
+        );
     }
 }
 
@@ -330,6 +361,24 @@ mod tests {
         assert_eq!(snap.apply_count, 3000, "no increment may be lost under contention");
         assert!((snap.total_apply.cpu_seconds - 500.0).abs() < 1e-9);
         assert!((snap.total_apply.gpu_seconds - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_preprocessing_accumulates_separately_from_the_cold_cost() {
+        // Regression test for the old "last call wins" overwrite: the cold
+        // breakdown must survive re-preprocessing, which accumulates on its own.
+        let stats = SharedStats::default();
+        let cold = TimeBreakdown { cpu_seconds: 2.0, gpu_seconds: 1.0, total_seconds: 2.5 };
+        let warm = TimeBreakdown { cpu_seconds: 0.5, gpu_seconds: 0.25, total_seconds: 0.5 };
+        stats.record_preprocessing(cold);
+        stats.record_preprocessing(warm);
+        stats.record_preprocessing(warm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.preprocess_count, 3);
+        assert!((snap.preprocessing.cpu_seconds - 2.0).abs() < 1e-12, "cold cost preserved");
+        assert!((snap.preprocessing.total_seconds - 2.5).abs() < 1e-12);
+        assert!((snap.repreprocessing.cpu_seconds - 1.0).abs() < 1e-12, "re-preprocess summed");
+        assert!((snap.repreprocessing.total_seconds - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct TotalFetiSolver {
     options: PcpgOptions,
     /// The recorded dual-operator preprocessing breakdown, once it has run.
     preprocessed: Option<TimeBreakdown>,
+    /// `(plan record id, chosen rank)` of the planning decision that built this
+    /// solver, when tracing was enabled at plan time.  The solver stamps measured
+    /// preprocessing and per-application seconds onto that record so the trace
+    /// report shows predicted-vs-measured accuracy.
+    plan_trace: Option<(u64, usize)>,
 }
 
 impl TotalFetiSolver {
@@ -138,8 +143,29 @@ impl TotalFetiSolver {
     ) -> Result<Self> {
         let problem = problem.into();
         let plan = Planner::new(&problem, gpu).plan(expected_iterations);
+        Self::from_plan(problem, &plan, options)
+    }
+
+    /// Creates a solver from an already-computed [`Plan`](crate::planner::Plan)
+    /// (see [`Planner::plan`](crate::planner::Planner::plan)): the plan's winning
+    /// candidate supplies the operator.  Callers that want to inspect or report the
+    /// ranking build the plan themselves and hand it over here; when tracing was
+    /// enabled during planning, this solver stamps its measured preprocessing and
+    /// per-application seconds onto that same plan trace record.
+    ///
+    /// # Errors
+    /// Returns an error if the planned operator cannot be constructed or a subdomain
+    /// factorization fails.
+    pub fn from_plan(
+        problem: impl Into<Arc<DecomposedProblem>>,
+        plan: &crate::planner::Plan,
+        options: PcpgOptions,
+    ) -> Result<Self> {
+        let problem = problem.into();
         let dual_op = plan.build(&problem)?;
-        Self::from_parts(problem, dual_op, options)
+        let mut solver = Self::from_parts(problem, dual_op, options)?;
+        solver.plan_trace = plan.trace_id.map(|id| (id, plan.chosen_rank()));
+        Ok(solver)
     }
 
     /// Shared constructor body: recovery factorizations and the coarse problem.
@@ -192,6 +218,7 @@ impl TotalFetiSolver {
             kernel_dim,
             options,
             preprocessed: None,
+            plan_trace: None,
         })
     }
 
@@ -242,6 +269,9 @@ impl TotalFetiSolver {
             None => {
                 let t = self.dual_op.preprocess()?;
                 self.preprocessed = Some(t);
+                if let Some((id, rank)) = self.plan_trace {
+                    feti_trace::stamp_plan(id, rank, Some(t.total_seconds), None);
+                }
                 Ok(t)
             }
         }
@@ -488,6 +518,7 @@ impl TotalFetiSolver {
         }
 
         for k in 0..self.options.max_iterations {
+            let _span = feti_trace::span(|| format!("pcpg_iter[{k}]"));
             let mut active = Vec::new();
             for (j, s) in states.iter_mut().enumerate() {
                 if s.halted {
@@ -543,6 +574,23 @@ impl TotalFetiSolver {
         let (f_lambda_final, tf) = self.apply_batch(&lambda_cols);
         apply_time = apply_time.then(tf);
         let share = apply_time.scaled(1.0 / ncases as f64);
+
+        if feti_trace::enabled() {
+            for s in &states {
+                feti_trace::histogram_record("pcpg_iterations", s.iterations as f64);
+            }
+            if let Some((id, rank)) = self.plan_trace {
+                let stats = self.dual_op.stats();
+                if stats.apply_count > 0 {
+                    feti_trace::stamp_plan(
+                        id,
+                        rank,
+                        None,
+                        Some(stats.total_apply.total_seconds / stats.apply_count as f64),
+                    );
+                }
+            }
+        }
 
         let mut solutions = Vec::with_capacity(ncases);
         for ((s, f_lambda), case) in states.iter().zip(&f_lambda_final).zip(loads) {

@@ -36,6 +36,39 @@ pub use params::{
 pub use planner::{HostSpec, Plan, PlanCacheKey, PlanCandidate, Planner};
 pub use schedule::{PhaseScheduler, TimeBreakdown};
 
+/// Installs the [`feti_trace`] hooks into the rayon shim: every parallel region
+/// dispatch bumps a counter named after its kind (inline / persistent / spawned)
+/// and records the region's item count in the `rayon.region_items` histogram.
+/// Idempotent; the hook is a branch on a relaxed atomic while tracing is disabled.
+pub fn install_trace_hooks() {
+    fn on_region(items: usize, dispatch: rayon::RegionDispatch) {
+        if !feti_trace::enabled() {
+            return;
+        }
+        let kind = match dispatch {
+            rayon::RegionDispatch::Inline => "rayon.region.inline",
+            rayon::RegionDispatch::Persistent => "rayon.region.persistent",
+            rayon::RegionDispatch::Spawned => "rayon.region.spawned",
+        };
+        feti_trace::counter_add(kind, 1);
+        feti_trace::histogram_record("rayon.region_items", items as f64);
+    }
+    rayon::set_region_hook(Some(on_region));
+}
+
+/// Reads the `FETI_TRACE` environment variable, enables tracing accordingly, and
+/// returns the export path when the variable names one (see
+/// [`feti_trace::init_from_env`]).  When tracing comes up enabled this also
+/// installs the rayon region hooks, so binaries get the full event stream from a
+/// single call.
+pub fn init_trace_from_env() -> Option<String> {
+    let path = feti_trace::init_from_env();
+    if feti_trace::enabled() {
+        install_trace_hooks();
+    }
+    path
+}
+
 /// Number of host worker threads the parallel subdomain loops currently use.
 ///
 /// This is the live rayon configuration: the `FETI_THREADS` environment variable (or

@@ -176,6 +176,11 @@ pub struct Plan {
     pub expected_iterations: usize,
     /// All candidates, sorted by amortized total with memory-infeasible ones last.
     pub candidates: Vec<PlanCandidate>,
+    /// Identifier of the [`feti_trace`] plan record this pass emitted, if tracing
+    /// was enabled when it ran.  A solver built from this plan stamps measured
+    /// preprocessing and per-application seconds onto the chosen candidate under
+    /// this id, producing the predicted-vs-measured accuracy report.
+    pub trace_id: Option<u64>,
 }
 
 impl Plan {
@@ -187,6 +192,12 @@ impl Plan {
     #[must_use]
     pub fn best(&self) -> &PlanCandidate {
         self.candidates.iter().find(|c| c.fits_device_memory).unwrap_or_else(|| &self.candidates[0])
+    }
+
+    /// The rank of the candidate [`Plan::best`] selects.
+    #[must_use]
+    pub fn chosen_rank(&self) -> usize {
+        self.candidates.iter().position(|c| c.fits_device_memory).unwrap_or(0)
     }
 
     /// Builds the dual operator the plan selected.
@@ -293,7 +304,55 @@ impl<'a> Planner<'a> {
                 .partial_cmp(&(!b.fits_device_memory, b.total_seconds(expected_iterations)))
                 .expect("estimated costs are finite")
         });
-        Plan { expected_iterations, candidates }
+        let mut plan = Plan { expected_iterations, candidates, trace_id: None };
+        if feti_trace::enabled() {
+            // One record per approach, not per parameter variant: a full-sweep plan
+            // enumerates hundreds of parameter combinations whose estimates differ
+            // only marginally, and recording them all would drown the accuracy
+            // report in duplicates.  Kept per approach is its best-ranked candidate
+            // that fits device memory (the one `best()` could select), falling back
+            // to its best-ranked overall; ranks stay positions in the full ranking,
+            // so the plan's chosen rank always names a recorded candidate.
+            let mut deduped: Vec<(usize, &PlanCandidate)> = Vec::new();
+            for (rank, c) in plan.candidates.iter().enumerate() {
+                match deduped.iter_mut().find(|(_, kept)| kept.approach == c.approach) {
+                    None => deduped.push((rank, c)),
+                    Some(entry) => {
+                        if c.fits_device_memory && !entry.1.fits_device_memory {
+                            *entry = (rank, c);
+                        }
+                    }
+                }
+            }
+            deduped.sort_by_key(|&(rank, _)| rank);
+            let records = deduped
+                .into_iter()
+                .map(|(rank, c)| feti_trace::PlanCandidateRecord {
+                    rank,
+                    approach: c.approach.label().to_string(),
+                    factorization: format!("{:?}", c.factorization),
+                    params: format!(
+                        "path={:?} fwd={:?}/{:?} bwd={:?}/{:?} rhs={:?} sg={:?}",
+                        c.params.path,
+                        c.params.forward_factor_storage,
+                        c.params.forward_factor_order,
+                        c.params.backward_factor_storage,
+                        c.params.backward_factor_order,
+                        c.params.rhs_order,
+                        c.params.scatter_gather,
+                    ),
+                    fits_device_memory: c.fits_device_memory,
+                    predicted_preprocessing_s: c.preprocessing.total_seconds,
+                    predicted_apply_s: c.apply.total_seconds,
+                    predicted_total_s: c.total_seconds(expected_iterations),
+                    measured_preprocessing_s: None,
+                    measured_apply_s: None,
+                })
+                .collect();
+            plan.trace_id =
+                feti_trace::record_plan(expected_iterations, plan.chosen_rank(), records);
+        }
+        plan
     }
 
     /// The parameter sets worth estimating for one approach.

@@ -69,6 +69,12 @@ pub struct PhaseScheduler {
     timeline: DeviceTimeline,
     total_cpu: f64,
     total_gpu_busy: f64,
+    /// When set, every submitted device op is exported to the trace layer as a
+    /// virtual-device-lane record anchored at this wall-clock microsecond
+    /// timestamp.  Only *executed* phases ([`Self::for_host`]) export; a-priori
+    /// estimate schedulers ([`Self::new`], used heavily by the planner) never do,
+    /// so candidate pricing cannot flood the trace with hypothetical kernels.
+    trace_epoch_us: Option<f64>,
 }
 
 impl PhaseScheduler {
@@ -81,15 +87,24 @@ impl PhaseScheduler {
             timeline: DeviceTimeline::new(num_streams.max(1)),
             total_cpu: 0.0,
             total_gpu_busy: 0.0,
+            trace_epoch_us: None,
         }
     }
 
     /// A scheduler matching the live host runtime: one modelled worker and one stream
-    /// per actual worker thread of the current parallel configuration.
+    /// per actual worker thread of the current parallel configuration.  When tracing
+    /// is enabled the phase's device submissions are exported as virtual-device
+    /// lanes, anchored at the wall-clock time this scheduler was created (the phase
+    /// records after its parallel region joins, so the modelled lanes appear at the
+    /// recording point, with the phase's virtual time running forward from there).
     #[must_use]
     pub fn for_host() -> Self {
         let threads = crate::host_threads();
-        Self::new(threads, threads)
+        let mut scheduler = Self::new(threads, threads);
+        if feti_trace::enabled() {
+            scheduler.trace_epoch_us = Some(feti_trace::now_us());
+        }
+        scheduler
     }
 
     /// Default configuration matching the paper's node share: 16 OpenMP threads and 16
@@ -111,7 +126,10 @@ impl PhaseScheduler {
         let ready = self.thread_cpu[worker];
         let stream = worker % self.timeline.num_streams();
         for op in gpu_ops {
-            self.timeline.submit(stream, ready, op);
+            match self.trace_epoch_us {
+                Some(epoch_us) => self.timeline.submit_traced(stream, ready, op, epoch_us),
+                None => self.timeline.submit(stream, ready, op),
+            };
             self.total_gpu_busy += op.seconds;
         }
     }

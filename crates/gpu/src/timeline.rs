@@ -89,6 +89,37 @@ impl DeviceTimeline {
         self.streams[s].submit(ready_at, cost)
     }
 
+    /// Like [`Self::submit`], additionally exporting the operation to the trace
+    /// layer as a virtual-device-lane record when tracing is enabled.
+    ///
+    /// The timeline itself retains only per-stream aggregates, so this is the
+    /// export hook: the per-op start is recovered from the returned completion
+    /// time (`start = completion − cost.seconds`), shifted by `epoch_us` (the
+    /// wall-clock microsecond timestamp of the phase that owns this timeline) so
+    /// the modelled lanes line up under the measured host spans.  Operations that
+    /// move bytes without floating-point work are labelled `transfer`, everything
+    /// else `kernel`.
+    pub fn submit_traced(
+        &mut self,
+        stream: usize,
+        ready_at: f64,
+        cost: &GpuCost,
+        epoch_us: f64,
+    ) -> f64 {
+        let completion = self.submit(stream, ready_at, cost);
+        if feti_trace::enabled() {
+            let label =
+                if cost.flops == 0.0 && cost.bytes_moved > 0.0 { "transfer" } else { "kernel" };
+            feti_trace::device_op(
+                stream % self.streams.len(),
+                label,
+                epoch_us + (completion - cost.seconds) * 1e6,
+                cost.seconds * 1e6,
+            );
+        }
+        completion
+    }
+
     /// Virtual time at which all streams have drained, given that the host reaches the
     /// synchronization point at `host_time`.
     #[must_use]
@@ -188,6 +219,27 @@ mod tests {
     fn merge_rejects_mismatched_stream_counts() {
         let mut a = DeviceTimeline::new(2);
         a.merge(&DeviceTimeline::new(3));
+    }
+
+    #[test]
+    fn submit_traced_exports_per_op_records_only_when_enabled() {
+        let mut d = DeviceTimeline::new(2);
+        feti_trace::clear();
+        // Disabled: identical completion times, no exported records.
+        assert_eq!(d.submit_traced(0, 0.0, &cost(1.0), 0.0), 1.0);
+        feti_trace::set_enabled(true);
+        let transfer = GpuCost { seconds: 0.5, bytes_moved: 8.0, flops: 0.0 };
+        let end = d.submit_traced(0, 0.0, &transfer, 100.0);
+        feti_trace::set_enabled(false);
+        assert_eq!(end, 1.5);
+        let report = feti_trace::take_report();
+        assert_eq!(report.device_ops.len(), 1);
+        let op = &report.device_ops[0];
+        assert_eq!(op.name, "transfer");
+        assert_eq!(op.stream, 0);
+        // start = completion − duration, shifted by the phase epoch.
+        assert!((op.start_us - (100.0 + 1.0e6)).abs() < 1e-6);
+        assert!((op.dur_us - 0.5e6).abs() < 1e-6);
     }
 
     #[test]

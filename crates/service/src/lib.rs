@@ -34,7 +34,7 @@ use feti_solver::FactorizationKind;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`FetiService`].
 #[derive(Debug, Clone)]
@@ -227,6 +227,12 @@ pub struct ServiceStats {
     pub cache_evictions: usize,
     /// Jobs completed per tenant.
     pub per_tenant_jobs: Vec<(String, usize)>,
+    /// Jobs currently queued (admitted but not yet picked up by a worker).
+    pub queue_depth: usize,
+    /// Queued-job counts per tenant, name-sorted.  Together with `queue_depth`
+    /// this is the live backlog an operator watches; completed-job counters above
+    /// only ever grow.
+    pub per_tenant_pending: Vec<(String, usize)>,
 }
 
 /// A handle to one submitted job.
@@ -243,6 +249,18 @@ impl JobTicket {
     pub fn wait(self) -> Result<JobReport, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
     }
+
+    /// Waits for the job for at most `timeout`.  Returns `None` if the job has
+    /// not finished within the bound — the ticket stays valid, so the caller can
+    /// keep polling or fall back to [`JobTicket::wait`].  A finished job returns
+    /// `Some` with its report or typed error exactly as `wait` would.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobReport, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
+        }
+    }
 }
 
 /// A job after admission: the resolved configuration plus the reply channel.
@@ -253,6 +271,9 @@ struct QueuedJob {
     params: ExplicitAssemblyParams,
     factorization: FactorizationKind,
     persistent_bytes: usize,
+    /// Trace timestamp of the moment the job entered the queue; the worker that
+    /// pops it closes a `queue_wait` span from here.
+    enqueued_us: f64,
     reply: mpsc::Sender<Result<JobReport, ServiceError>>,
 }
 
@@ -496,6 +517,7 @@ impl FetiService {
     /// [`ServiceError::ShuttingDown`], [`ServiceError::QueueFull`] or
     /// [`ServiceError::Admission`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServiceError> {
+        let _span = feti_trace::span(|| "admit");
         let resolved = self.resolve(&spec);
         if !self.shared.budget.admissible(resolved.persistent_bytes) {
             return Err(ServiceError::Admission(BudgetError::ExceedsBudget {
@@ -517,6 +539,7 @@ impl FetiService {
             params: resolved.params,
             factorization: resolved.factorization,
             persistent_bytes: resolved.persistent_bytes,
+            enqueued_us: feti_trace::now_us(),
             reply: tx,
         };
         {
@@ -530,6 +553,7 @@ impl FetiService {
                 });
             }
             q.push(job);
+            feti_trace::histogram_record("service.queue_depth", q.len as f64);
         }
         self.shared.queue_cv.notify_one();
         Ok(JobTicket { rx })
@@ -596,9 +620,16 @@ impl FetiService {
         resolved
     }
 
-    /// Snapshot of the aggregate counters.
+    /// Snapshot of the aggregate counters plus the live queue backlog.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
+        let (queue_depth, mut per_tenant_pending) = {
+            let q = lock(&self.shared.queue);
+            let pending: Vec<(String, usize)> =
+                q.per_tenant.iter().map(|(t, jobs)| (t.clone(), jobs.len())).collect();
+            (q.len, pending)
+        };
+        per_tenant_pending.sort();
         let s = lock(&self.shared.stats);
         let mut per_tenant: Vec<(String, usize)> =
             s.per_tenant_jobs.iter().map(|(t, n)| (t.clone(), *n)).collect();
@@ -610,6 +641,8 @@ impl FetiService {
             cache_misses: s.cache_misses,
             cache_evictions: s.cache_evictions,
             per_tenant_jobs: per_tenant,
+            queue_depth,
+            per_tenant_pending,
         }
     }
 
@@ -659,6 +692,11 @@ fn worker_main(shared: &Arc<ServiceShared>, index: usize) {
                 q = shared.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        if feti_trace::enabled() {
+            feti_trace::record_closed_span(|| "queue_wait", job.enqueued_us);
+            let waited_s = ((feti_trace::now_us() - job.enqueued_us) / 1e6).max(0.0);
+            feti_trace::histogram_record("service.admission_wait_s", waited_s);
+        }
         let reply = job.reply.clone();
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match solver_pool {
@@ -693,6 +731,7 @@ fn worker_main(shared: &Arc<ServiceShared>, index: usize) {
 
 /// Executes one admitted job on the calling worker thread.
 fn run_job(shared: &Arc<ServiceShared>, job: QueuedJob) -> Result<JobReport, ServiceError> {
+    let _span = feti_trace::span(|| "run_job");
     // FIFO-fair budget reservation: the job blocks here while other tenants' running
     // jobs hold the modelled device memory, and errors out typed if the ledger closes.
     let reservation = shared.budget.reserve(job.persistent_bytes)?;
@@ -728,6 +767,10 @@ fn run_job(shared: &Arc<ServiceShared>, job: QueuedJob) -> Result<JobReport, Ser
             CacheOutcome::Hit => s.cache_hits += 1,
             CacheOutcome::Miss => s.cache_misses += 1,
         }
+    }
+    match cache {
+        CacheOutcome::Hit => feti_trace::counter_add("service.cache_hits", 1),
+        CacheOutcome::Miss => feti_trace::counter_add("service.cache_misses", 1),
     }
 
     let solve_start = Instant::now();
@@ -797,6 +840,7 @@ mod tests {
                     params: ExplicitAssemblyParams::default(),
                     factorization: FactorizationKind::Simplicial,
                     persistent_bytes: 0,
+                    enqueued_us: 0.0,
                     reply: tx.clone(),
                 });
             }
@@ -950,6 +994,77 @@ mod tests {
                 "every job on this worker must reuse the same persistent pool threads"
             );
         }
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_expose_the_live_queue_backlog_per_tenant() {
+        // No workers draining: jobs pushed straight into the shared queue stay
+        // pending, so the snapshot must see them.  (Workers = 1 service started,
+        // but we inspect the queue before submitting through it.)
+        let service = FetiService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let p = problem();
+        let (tx, _rx) = mpsc::channel();
+        let key = PlanCacheKey::new(
+            &p,
+            DualOperatorApproach::ImplicitCholmod,
+            ExplicitAssemblyParams::default(),
+            FactorizationKind::Simplicial,
+        );
+        {
+            // Hold the queue lock while pushing so the worker cannot drain
+            // between the pushes and the snapshot below is taken before release.
+            let mut q = lock(&service.shared.queue);
+            for tenant in ["a", "a", "b"] {
+                q.push(QueuedJob {
+                    spec: JobSpec::new(tenant, Arc::clone(&p)),
+                    key,
+                    approach: DualOperatorApproach::ImplicitCholmod,
+                    params: ExplicitAssemblyParams::default(),
+                    factorization: FactorizationKind::Simplicial,
+                    persistent_bytes: 0,
+                    enqueued_us: 0.0,
+                    reply: tx.clone(),
+                });
+            }
+            let pending: Vec<(String, usize)> =
+                q.per_tenant.iter().map(|(t, jobs)| (t.clone(), jobs.len())).collect();
+            assert_eq!(q.len, 3);
+            let mut pending = pending;
+            pending.sort();
+            assert_eq!(pending, [("a".to_string(), 2), ("b".to_string(), 1)]);
+        }
+        // The public snapshot reads the same structures (the workers may have
+        // started draining by now, so only monotone facts are asserted).
+        let stats = service.stats();
+        assert!(stats.queue_depth <= 3);
+        assert_eq!(stats.queue_depth, stats.per_tenant_pending.iter().map(|(_, n)| n).sum());
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_bounds_the_wait_and_keeps_the_ticket_valid() {
+        let service = FetiService::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+        let ticket = service.submit(JobSpec::new("t", problem())).unwrap();
+        // Poll with a zero-ish timeout until the job lands; a timed-out poll
+        // returns None and must leave the ticket usable.
+        let mut report = None;
+        for _ in 0..10_000 {
+            match ticket.wait_timeout(Duration::from_millis(5)) {
+                Some(r) => {
+                    report = Some(r.unwrap());
+                    break;
+                }
+                None => continue,
+            }
+        }
+        let report = report.expect("the job finishes well within the polling budget");
+        assert_eq!(report.tenant, "t");
+        // A drained ticket reports the worker as gone rather than blocking.
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            None | Some(Err(ServiceError::WorkerLost))
+        ));
         service.shutdown().unwrap();
     }
 

@@ -3,14 +3,27 @@
 //! application path.
 //!
 //! Run with `cargo run --release --example planned_solver`.
+//!
+//! With `FETI_TRACE=trace.json` the run also exercises the observability layer:
+//! spans, metrics, and the planner's decision records are collected, every ranked
+//! candidate is measured and stamped next to its prediction (the plan-accuracy
+//! report), and a Chrome trace-event timeline — measured host lanes plus the
+//! modelled virtual-device streams — is written to the given path for
+//! `chrome://tracing` / <https://ui.perfetto.dev>.
 
 use feti_core::planner::Planner;
-use feti_core::{LoadCase, PcpgOptions, TotalFetiSolver};
+use feti_core::{
+    build_dual_operator, DualOperatorApproach, LoadCase, PcpgOptions, TotalFetiSolver,
+};
 use feti_decompose::{DecomposedProblem, DecompositionSpec};
 use feti_gpu::GpuSpec;
 use feti_mesh::{Dim, ElementOrder, Physics};
 
 fn main() {
+    // 0. Observability: FETI_TRACE=<path> turns on the trace layer (off by
+    //    default; a disabled run costs one relaxed atomic load per call site).
+    let trace_path = feti_core::init_trace_from_env();
+
     // 1. Decompose a 3D heat-transfer problem (2x2x2 subdomains, quadratic elements).
     let spec = DecompositionSpec {
         dim: Dim::Three,
@@ -66,13 +79,11 @@ fn main() {
         })
         .collect();
 
-    let mut solver = TotalFetiSolver::new_planned(
-        &problem,
-        GpuSpec::a100_40gb(),
-        expected_iterations,
-        PcpgOptions::default(),
-    )
-    .expect("solver construction");
+    // The solver is built from the plan above (rather than re-planning via
+    // `new_planned`), so its measured preprocessing and apply times are stamped
+    // onto the same trace record the ranking came from.
+    let mut solver = TotalFetiSolver::from_plan(&problem, &plan, PcpgOptions::default())
+        .expect("solver construction");
     let solutions = solver.solve_many(&[baseline, doubled, tilted]).expect("batched solve");
 
     println!("\nsolved {} load cases in one batched run:", solutions.len());
@@ -89,4 +100,69 @@ fn main() {
         stats.apply_count,
         solver.dual_operator().approach().label()
     );
+
+    // 4. Plan accuracy: the solve stamped the chosen candidate's measured times
+    //    onto the plan's trace record; measure the other ranked candidates too
+    //    (one preprocessing + one application each) so the report shows
+    //    predicted-vs-measured for every one.
+    if let Some(id) = plan.trace_id {
+        let record = feti_trace::plan_records()
+            .into_iter()
+            .find(|p| p.id == id)
+            .expect("the plan above was recorded");
+        let p: Vec<f64> = (0..problem.num_lambdas).map(|i| ((i % 17) as f64) * 0.1 - 0.8).collect();
+        let mut q = vec![0.0; problem.num_lambdas];
+        for c in &record.candidates {
+            if c.rank == record.chosen_rank {
+                continue; // carries the real solve's measurements
+            }
+            let Some(&approach) =
+                DualOperatorApproach::all().iter().find(|a| a.label() == c.approach)
+            else {
+                continue;
+            };
+            let Ok(mut op) = build_dual_operator(approach, &problem, None) else { continue };
+            let Ok(pre) = op.preprocess() else { continue };
+            let apply = op.apply(&p, &mut q);
+            feti_trace::stamp_plan(id, c.rank, Some(pre.total_seconds), Some(apply.total_seconds));
+        }
+        let record = feti_trace::plan_records()
+            .into_iter()
+            .find(|p| p.id == id)
+            .expect("the plan above was recorded");
+        println!("\nplan accuracy (chosen rank starred; measured = one preprocess + one apply):");
+        println!(
+            "  {:<5} {:<18} {:>12} {:>12} {:>14} {:>14}",
+            "rank", "approach", "pred pre ms", "meas pre ms", "pred apply ms", "meas apply ms"
+        );
+        let fmt_opt =
+            |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{:.4}", v * 1e3));
+        for c in &record.candidates {
+            let star = if c.rank == record.chosen_rank { "*" } else { " " };
+            println!(
+                "  {:<5} {:<18} {:>12.4} {:>12} {:>14.5} {:>14}",
+                format!("{}{star}", c.rank),
+                c.approach,
+                c.predicted_preprocessing_s * 1e3,
+                fmt_opt(c.measured_preprocessing_s),
+                c.predicted_apply_s * 1e3,
+                fmt_opt(c.measured_apply_s),
+            );
+        }
+    }
+
+    // 5. Timeline export: drain everything the run recorded into one Chrome
+    //    trace-event file — measured host spans as per-worker lanes, the modelled
+    //    device operations as virtual-stream lanes.
+    if let Some(path) = trace_path {
+        let report = feti_trace::take_report();
+        println!(
+            "\ntrace: {} host spans, {} modelled device ops, {} plan record(s) -> {path}",
+            report.spans.len(),
+            report.device_ops.len(),
+            report.plans.len()
+        );
+        feti_bench::chrome::write_chrome_trace(&report, &path).expect("trace file is writable");
+        println!("load it in chrome://tracing or https://ui.perfetto.dev");
+    }
 }

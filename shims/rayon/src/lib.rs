@@ -144,6 +144,56 @@ pub fn current_inline_cutoff() -> usize {
         .unwrap_or_else(default_inline_cutoff)
 }
 
+// ---------------------------------------------------------------------------
+// Observability hooks (shim extension)
+// ---------------------------------------------------------------------------
+
+/// How the region driver dispatched a parallel region, reported to the
+/// installed [`RegionHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionDispatch {
+    /// The region ran inline on the calling thread (single participant or below
+    /// the inline cutoff).
+    Inline,
+    /// The region ran on the persistent parked worker pool.
+    Persistent,
+    /// The region ran on the scoped spawn-per-region baseline driver.
+    Spawned,
+}
+
+/// Observability hook invoked once per parallel region, on the submitting thread,
+/// with the region's item count and the dispatch decision.  Shim extension (real
+/// rayon has no such hook): the tracing layer installs one to count regions and
+/// histogram their sizes without the shim depending on any other crate.  The hook
+/// must be cheap and must not enter a parallel region itself.
+pub type RegionHook = fn(items: usize, dispatch: RegionDispatch);
+
+/// The installed region hook as a raw fn pointer (0 = none).
+static REGION_HOOK: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None` removes) the process-wide [`RegionHook`].
+pub fn set_region_hook(hook: Option<RegionHook>) {
+    REGION_HOOK.store(hook.map_or(0, |f| f as usize), Ordering::Release);
+}
+
+#[inline]
+fn notify_region_hook(items: usize, dispatch: RegionDispatch) {
+    let raw = REGION_HOOK.load(Ordering::Acquire);
+    if raw != 0 {
+        // SAFETY: the only nonzero values ever stored are `RegionHook` fn pointers.
+        let hook: RegionHook = unsafe { std::mem::transmute::<usize, RegionHook>(raw) };
+        hook(items, dispatch);
+    }
+}
+
+/// The label observability layers use for the current thread's lane: the thread's
+/// OS-level name — pool workers are named `feti-pool-{w}` by this shim — or
+/// `"unnamed"` for anonymous threads.  Shim extension.
+#[must_use]
+pub fn current_thread_label() -> String {
+    std::thread::current().name().map_or_else(|| "unnamed".to_string(), str::to_string)
+}
+
 /// The shared global pool used by regions entered without an explicit `install`.
 /// Like real rayon's global pool it is created on first use and never torn down.
 fn global_pool() -> &'static ThreadPool {
@@ -695,6 +745,7 @@ fn run_region(n: usize, max_len: Option<usize>, task: impl Fn(usize) + Sync) {
     let workers = threads.min(n);
     let cutoff = installed.as_ref().map_or_else(default_inline_cutoff, |cfg| cfg.inline_cutoff);
     if workers <= 1 || (max_len.is_none() && n < cutoff) {
+        notify_region_hook(n, RegionDispatch::Inline);
         for i in 0..n {
             task(i);
         }
@@ -702,8 +753,10 @@ fn run_region(n: usize, max_len: Option<usize>, task: impl Fn(usize) + Sync) {
     }
     let cfg = installed.unwrap_or_else(|| global_pool().cfg());
     if cfg.spawn_per_region {
+        notify_region_hook(n, RegionDispatch::Spawned);
         run_region_spawn(&cfg, n, workers, max_len, &task);
     } else {
+        notify_region_hook(n, RegionDispatch::Persistent);
         run_region_persistent(&cfg, n, workers, max_len, &task);
     }
 }

@@ -1,7 +1,7 @@
 //! Umbrella crate for the reproduction of *Assembly of FETI dual operator using
 //! CUDA* (Homola, Říha, Brzobohatý; IPPS 2025).
 //!
-//! The implementation lives in nine layered crates under `crates/`; this crate
+//! The implementation lives in ten layered crates under `crates/`; this crate
 //! re-exports each layer under a short name so the end-to-end examples and tests at
 //! the repository root have a single dependency, and so downstream users can depend
 //! on `feti` alone.  See `README.md` for the workspace layout and `DESIGN.md` for
@@ -19,3 +19,4 @@ pub use feti_order as order;
 pub use feti_service as service;
 pub use feti_solver as solver;
 pub use feti_sparse as sparse;
+pub use feti_trace as trace;

@@ -1,0 +1,238 @@
+//! Trace conformance suite: the observability layer must observe, never perturb.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Bit identity** — with tracing enabled, every dual-operator approach
+//!    produces bit-for-bit the same `F·p` action, the same solution vector, and
+//!    the same PCPG iteration count as with tracing disabled.  Tracing records
+//!    wall timestamps around the numerics; it must never reorder or reformulate
+//!    them.
+//! 2. **Exporter round trip** — the Chrome trace-event document produced from a
+//!    real solve parses back through the `feti-bench` JSON parser with both the
+//!    measured-host and modelled-device process lanes intact.
+//! 3. **Concurrent spans** — nested spans opened concurrently from the persistent
+//!    worker pool (4 threads, nested parallel regions) land on per-thread stacks:
+//!    no events are lost or dropped, every span carries its worker's label, and
+//!    nesting depths are consistent.
+//!
+//! The trace enable flag is process-global, so every test here serializes on one
+//! gate mutex and restores the disabled state (draining the buffers) on exit —
+//! including on assertion panics — so the rest of the test binary never observes
+//! tracing mid-toggle.
+
+mod common;
+
+use common::problems;
+use feti_bench::json::{parse, Value};
+use feti_core::{build_dual_operator, DualOperatorApproach, PcpgOptions, TotalFetiSolver};
+use feti_decompose::DecomposedProblem;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serializes every trace-toggling test and guarantees the flag ends up disabled
+/// (with the buffers drained) no matter how the test exits.
+struct TraceGate(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn trace_gate() -> TraceGate {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match GATE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        // A previous test panicked while holding the gate; the RAII drop below
+        // already restored the disabled state, so the poison carries no meaning.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    feti_trace::set_enabled(false);
+    let _ = feti_trace::take_report();
+    TraceGate(guard)
+}
+
+impl Drop for TraceGate {
+    fn drop(&mut self) {
+        feti_trace::set_enabled(false);
+        let _ = feti_trace::take_report();
+    }
+}
+
+/// One `F·p` action and one full PCPG solve of one approach, as raw bits.
+fn run_approach(
+    problem: &Arc<DecomposedProblem>,
+    approach: DualOperatorApproach,
+) -> (Vec<u64>, Vec<u64>, usize) {
+    let nl = problem.num_lambdas;
+    let p: Vec<f64> = (0..nl).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+    let mut op = build_dual_operator(approach, problem, None).unwrap();
+    op.preprocess().unwrap();
+    let mut q = vec![0.0; nl];
+    op.apply(&p, &mut q);
+    let mut solver =
+        TotalFetiSolver::new(Arc::clone(problem), approach, None, PcpgOptions::default()).unwrap();
+    let sol = solver.solve().unwrap();
+    (
+        q.iter().map(|v| v.to_bits()).collect(),
+        sol.global_solution.iter().map(|v| v.to_bits()).collect(),
+        sol.iterations,
+    )
+}
+
+/// Contract 1: tracing on vs off is bit-identical for every approach on every
+/// conformance problem — same `F·p` bits, same solution bits, same iteration count.
+#[test]
+fn tracing_is_bit_identical_across_all_approaches() {
+    let _gate = trace_gate();
+    for (name, spec) in problems() {
+        let problem = Arc::new(DecomposedProblem::build(&spec));
+        for approach in DualOperatorApproach::all() {
+            feti_trace::set_enabled(false);
+            let off = run_approach(&problem, approach);
+            feti_trace::set_enabled(true);
+            let on = run_approach(&problem, approach);
+            let report = feti_trace::take_report();
+            feti_trace::set_enabled(false);
+            assert_eq!(off.0, on.0, "{name} {approach:?}: F·p bits differ under tracing");
+            assert_eq!(off.1, on.1, "{name} {approach:?}: solution bits differ under tracing");
+            assert_eq!(off.2, on.2, "{name} {approach:?}: iteration count differs under tracing");
+            // Sanity: the traced run really was traced.
+            assert!(
+                report.spans.iter().any(|s| s.name == "preprocess"),
+                "{name} {approach:?}: traced run recorded no preprocess span"
+            );
+            assert!(
+                report.spans.iter().any(|s| s.name.starts_with("pcpg_iter[")),
+                "{name} {approach:?}: traced run recorded no PCPG iteration spans"
+            );
+        }
+    }
+}
+
+/// Contract 2: a Chrome trace exported from a real traced solve round-trips
+/// through the JSON parser with both process lanes and the plan records intact.
+#[test]
+fn chrome_export_of_a_real_solve_round_trips() {
+    let _gate = trace_gate();
+    feti_trace::set_enabled(true);
+    let spec = common::heat_3d();
+    let problem = Arc::new(DecomposedProblem::build(&spec));
+    let plan = feti_core::planner::Planner::new(&problem, feti_gpu::GpuSpec::a100_40gb()).plan(100);
+    let mut solver =
+        TotalFetiSolver::from_plan(Arc::clone(&problem), &plan, PcpgOptions::default()).unwrap();
+    solver.solve().unwrap();
+    // A GPU approach guarantees modelled device ops in the report even if the
+    // planner picked a CPU family above.
+    let mut gpu_op =
+        build_dual_operator(DualOperatorApproach::ExplicitGpuLegacy, &problem, None).unwrap();
+    gpu_op.preprocess().unwrap();
+    let p: Vec<f64> = (0..problem.num_lambdas).map(|i| 0.5 - (i % 3) as f64 * 0.25).collect();
+    let mut q = vec![0.0; problem.num_lambdas];
+    gpu_op.apply(&p, &mut q);
+
+    let report = feti_trace::take_report();
+    feti_trace::set_enabled(false);
+    assert!(!report.spans.is_empty(), "a traced solve must record spans");
+    assert!(!report.device_ops.is_empty(), "a traced GPU preprocess must record device ops");
+    assert!(!report.plans.is_empty(), "a traced plan() must record its ranking");
+
+    let doc = feti_bench::chrome::chrome_trace(&report);
+    let back = parse(&doc.to_json()).expect("exported Chrome trace must be valid JSON");
+    let events = match back.get("traceEvents") {
+        Some(Value::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let pids: std::collections::BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("pid").and_then(Value::as_num))
+        .map(|p| p as i64)
+        .collect();
+    assert!(
+        pids.contains(&(feti_bench::chrome::HOST_PID as i64)),
+        "measured host lane missing from the export"
+    );
+    assert!(
+        pids.contains(&(feti_bench::chrome::DEVICE_PID as i64)),
+        "modelled device lane missing from the export"
+    );
+    let plans = match back.get("plans") {
+        Some(Value::Arr(plans)) => plans,
+        other => panic!("plans must be an array, got {other:?}"),
+    };
+    assert_eq!(plans.len(), report.plans.len());
+    let first = &plans[0];
+    assert!(
+        matches!(first.get("candidates"), Some(Value::Arr(c)) if !c.is_empty()),
+        "exported plan must carry its ranked candidates"
+    );
+}
+
+/// Contract 3: concurrent nested spans from the persistent pool (4 workers,
+/// nested parallel regions) are complete and consistent — nothing dropped, every
+/// span labelled with its thread, inner spans one level deeper than their outer.
+#[test]
+fn concurrent_nested_spans_under_the_persistent_pool_are_complete() {
+    const OUTER: usize = 16;
+    const INNER: usize = 8;
+    const ROUNDS: usize = 25;
+
+    let _gate = trace_gate();
+    feti_trace::set_enabled(true);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .inline_cutoff(0) // tiny regions must still hit the pool machinery
+        .build()
+        .expect("pool construction");
+    pool.install(|| {
+        use rayon::prelude::*;
+        let outer_ids: Vec<usize> = (0..OUTER).collect();
+        for _ in 0..ROUNDS {
+            let per_outer: Vec<usize> = outer_ids
+                .par_iter()
+                .map(|&i| {
+                    let _outer = feti_trace::span(|| format!("outer[{i}]"));
+                    let inner_ids: Vec<usize> = (0..INNER).collect();
+                    // A nested region: its items may run on other workers or be
+                    // self-drained by this one.
+                    let inner: Vec<usize> = inner_ids
+                        .par_iter()
+                        .map(|&j| {
+                            let _inner = feti_trace::span(|| format!("inner[{i}.{j}]"));
+                            i + j
+                        })
+                        .collect();
+                    inner.into_iter().sum()
+                })
+                .collect();
+            assert_eq!(
+                per_outer.into_iter().sum::<usize>(),
+                (0..OUTER).map(|i| INNER * i + INNER * (INNER - 1) / 2).sum::<usize>()
+            );
+        }
+    });
+    let report = feti_trace::take_report();
+    feti_trace::set_enabled(false);
+
+    assert_eq!(report.dropped_events, 0, "the stress run must not overflow the buffers");
+    let outer_spans = report.spans.iter().filter(|s| s.name.starts_with("outer[")).count();
+    let inner_spans = report.spans.iter().filter(|s| s.name.starts_with("inner[")).count();
+    assert_eq!(outer_spans, OUTER * ROUNDS, "every outer span must be recorded exactly once");
+    assert_eq!(inner_spans, OUTER * INNER * ROUNDS, "every inner span must be recorded");
+    for span in &report.spans {
+        assert!(!span.thread.is_empty(), "span {:?} lost its thread label", span.name);
+        assert!(span.dur_us >= 0.0, "span {:?} has negative duration", span.name);
+    }
+    // Nesting must be observed: a worker that submits a nested region self-drains
+    // its own deque, so at least some inner items run while their outer span is
+    // live on the same thread and record a deeper stack level.  (An inner item
+    // stolen by an idle worker legitimately starts a fresh stack at depth 0, so
+    // only the existence of nested depths is pinned, not their count.)
+    assert!(
+        report.spans.iter().any(|s| s.name.starts_with("inner[") && s.depth >= 1),
+        "no inner span ever recorded a nested depth"
+    );
+    // Outer spans always open from the region closure directly, never under
+    // another span of this test on the same thread unless the pool interleaves
+    // work while an application waits — both are valid stacks, but an outer span
+    // can never be deeper than the total live spans this test creates.
+    let max_depth = report.spans.iter().map(|s| s.depth).max().unwrap_or(0);
+    assert!(
+        max_depth < OUTER,
+        "span stack depth {max_depth} exceeds anything this test can legally nest"
+    );
+}
